@@ -1,0 +1,108 @@
+// Command asbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	asbench -exp fig10                 # one experiment
+//	asbench -exp all                   # the full evaluation
+//	asbench -exp fig12 -scale 0.25     # larger data sizes
+//	asbench -list                      # show available experiments
+//
+// Experiments print paper-style rows; DESIGN.md maps each experiment ID
+// to the corresponding paper table/figure, and EXPERIMENTS.md records
+// paper-vs-measured values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"alloystack/internal/bench"
+)
+
+var experiments = map[string]struct {
+	fn    func(bench.Options) (*bench.Report, error)
+	about string
+}{
+	"table1":  {bench.Table1, "as-libos modules per serverless function"},
+	"fig2":    {bench.Fig2, "startup latency across software stacks"},
+	"fig3":    {bench.Fig3, "communication primitive latency"},
+	"fig10":   {bench.Fig10, "cold start latency"},
+	"fig11":   {bench.Fig11, "intermediate data transfer latency"},
+	"fig12":   {bench.Fig12, "Rust-tier end-to-end latency"},
+	"fig13":   {bench.Fig13, "C/Python end-to-end latency vs Faasm"},
+	"fig14":   {bench.Fig14, "on-demand loading + reference passing ablation"},
+	"fig15":   {bench.Fig15, "per-stage latency breakdown"},
+	"fig16":   {bench.Fig16, "end-to-end latency on ramfs"},
+	"fig17a":  {bench.Fig17a, "tail latency under load"},
+	"fig17b":  {bench.Fig17b, "CPU and memory usage vs instances"},
+	"table4":  {bench.Table4, "LibOS substrate throughput vs host kernel"},
+	"engines": {bench.Engines, "guest engine ablation (Wasmtime vs WAVM model)"},
+}
+
+// order runs the cheap experiments first under -exp all.
+var order = []string{
+	"table1", "fig2", "fig10", "engines", "table4", "fig3",
+	"fig11", "fig14", "fig16", "fig15", "fig12", "fig13", "fig17a", "fig17b",
+}
+
+func main() {
+	exp := flag.String("exp", "", "experiment id, or 'all'")
+	list := flag.Bool("list", false, "list experiments")
+	scale := flag.Float64("scale", 1.0/16, "data-size scale relative to the paper")
+	costScale := flag.Float64("cost-scale", 1.0, "injected platform-cost scale (1.0 = calibrated)")
+	iters := flag.Int("iters", 1, "iterations per configuration (median reported)")
+	flag.Parse()
+
+	if *list || *exp == "" {
+		names := make([]string, 0, len(experiments))
+		for n := range experiments {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Println("experiments:")
+		for _, n := range names {
+			fmt.Printf("  %-8s %s\n", n, experiments[n].about)
+		}
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	opts := bench.Options{
+		Scale:      *scale,
+		CostScale:  *costScale,
+		Iterations: *iters,
+		Out:        os.Stdout,
+	}
+
+	run := func(name string) error {
+		e, ok := experiments[name]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (use -list)", name)
+		}
+		start := time.Now()
+		if _, err := e.fn(opts); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Printf("[%s completed in %s]\n\n", name, time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+
+	if *exp == "all" {
+		for _, name := range order {
+			if err := run(name); err != nil {
+				fmt.Fprintln(os.Stderr, "asbench:", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	if err := run(*exp); err != nil {
+		fmt.Fprintln(os.Stderr, "asbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,113 @@
+// Command asctl is the AlloyStack CLI: validate and describe workflow
+// configurations, and invoke workflows on a running asvisor node.
+//
+// Usage:
+//
+//	asctl validate workflow.json
+//	asctl describe workflow.json
+//	asctl invoke -node 127.0.0.1:8080 word-count
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"alloystack/internal/dag"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "validate":
+		cmdValidate(os.Args[2:])
+	case "describe":
+		cmdDescribe(os.Args[2:])
+	case "invoke":
+		cmdInvoke(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  asctl validate <workflow.json>   check a workflow configuration
+  asctl describe <workflow.json>   print stages and instance counts
+  asctl invoke [-node host:port] <workflow>   invoke on a running asvisor`)
+	os.Exit(2)
+}
+
+func loadWorkflow(path string) *dag.Workflow {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal("read %s: %v", path, err)
+	}
+	w, err := dag.Parse(data)
+	if err != nil {
+		fatal("parse %s: %v", path, err)
+	}
+	return w
+}
+
+func cmdValidate(args []string) {
+	if len(args) != 1 {
+		usage()
+	}
+	w := loadWorkflow(args[0])
+	fmt.Printf("workflow %q: OK (%d functions, %d instances)\n",
+		w.Name, len(w.Functions), w.TotalInstances())
+}
+
+func cmdDescribe(args []string) {
+	if len(args) != 1 {
+		usage()
+	}
+	w := loadWorkflow(args[0])
+	stages, err := w.Stages()
+	if err != nil {
+		fatal("stages: %v", err)
+	}
+	fmt.Printf("workflow %q: %d functions in %d stages\n", w.Name, len(w.Functions), len(stages))
+	for i, stage := range stages {
+		var parts []string
+		for _, f := range stage {
+			lang := f.Language
+			if lang == "" {
+				lang = "native"
+			}
+			parts = append(parts, fmt.Sprintf("%s[x%d,%s]", f.Name, f.InstancesOf(), lang))
+		}
+		fmt.Printf("  stage %d: %s\n", i, strings.Join(parts, " "))
+	}
+}
+
+func cmdInvoke(args []string) {
+	fs := flag.NewFlagSet("invoke", flag.ExitOnError)
+	node := fs.String("node", "127.0.0.1:8080", "asvisor address")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	name := fs.Arg(0)
+	resp, err := http.Post(fmt.Sprintf("http://%s/invoke/%s", *node, name), "application/json", nil)
+	if err != nil {
+		fatal("invoke: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	fmt.Printf("%s\n", body)
+	if resp.StatusCode != http.StatusOK {
+		os.Exit(1)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "asctl: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,133 @@
+// Command asvisor runs an AlloyStack node: the watchdog HTTP server plus
+// the built-in benchmark function registry, executing workflows described
+// by JSON configuration files.
+//
+// Usage:
+//
+//	asvisor -listen 127.0.0.1:8080 -workflows ./configs
+//	curl -X POST http://127.0.0.1:8080/invoke/word-count
+//
+// Each JSON file in -workflows registers one workflow (see internal/dag
+// for the schema); the built-in registry provides the paper's benchmark
+// functions in native, C and Python tiers. Input-reading workflows get a
+// fresh FAT disk image with synthetic input data per invocation, sized
+// by -input-size.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+
+	"alloystack/internal/dag"
+	"alloystack/internal/visor"
+	"alloystack/internal/workloads"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:8080", "watchdog listen address")
+	dir := flag.String("workflows", "", "directory of workflow JSON configs")
+	inputSize := flag.Int64("input-size", 4<<20, "synthetic input size for file-reading workflows")
+	costScale := flag.Float64("cost-scale", 1.0, "injected platform-cost scale")
+	flag.Parse()
+
+	reg := visor.NewRegistry()
+	workloads.RegisterAll(reg)
+	v := visor.New(reg)
+
+	// Built-in workflows so the node is usable with no config directory.
+	builtins := []*dag.Workflow{
+		workloads.NoOps(),
+		workloads.Pipe(1<<20, "native"),
+		workloads.FunctionChain(5, 1<<20, "native"),
+		workloads.WordCount(3, "native"),
+		workloads.ParallelSorting(3, "native"),
+	}
+	for _, w := range builtins {
+		if err := v.RegisterWorkflow(w); err != nil {
+			fatal("register %s: %v", w.Name, err)
+		}
+	}
+	if *dir != "" {
+		entries, err := os.ReadDir(*dir)
+		if err != nil {
+			fatal("read workflows dir: %v", err)
+		}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(*dir, e.Name()))
+			if err != nil {
+				fatal("read %s: %v", e.Name(), err)
+			}
+			w, err := dag.Parse(data)
+			if err != nil {
+				fatal("parse %s: %v", e.Name(), err)
+			}
+			if err := v.RegisterWorkflow(w); err != nil {
+				fatal("register %s: %v", w.Name, err)
+			}
+			fmt.Printf("registered workflow %q from %s\n", w.Name, e.Name())
+		}
+	}
+
+	wd := visor.NewWatchdog(v)
+	wd.OptionsFor = func(name string) visor.RunOptions {
+		ro := visor.DefaultRunOptions()
+		ro.CostScale = *costScale
+		ro.Stdout = os.Stdout
+		// Stage inputs for the workflows that read files.
+		w, err := v.Workflow(name)
+		if err != nil {
+			return ro
+		}
+		needsPy := false
+		for _, f := range w.Functions {
+			if f.Language == "python" {
+				needsPy = true
+			}
+		}
+		for _, f := range w.Functions {
+			switch f.Param("input", "") {
+			case workloads.TextInputPath:
+				if img, err := workloads.BuildTextImage(*inputSize, needsPy); err == nil {
+					ro.DiskImage = img
+				}
+				return ro
+			case workloads.BinInputPath:
+				if img, err := workloads.BuildBinImage(*inputSize, needsPy); err == nil {
+					ro.DiskImage = img
+				}
+				return ro
+			}
+		}
+		if needsPy {
+			if img, err := workloads.BuildEmptyImage(true); err == nil {
+				ro.DiskImage = img
+			}
+		}
+		return ro
+	}
+
+	addr, err := wd.Start(*listen)
+	if err != nil {
+		fatal("start watchdog: %v", err)
+	}
+	fmt.Printf("asvisor listening on http://%s (POST /invoke/{workflow})\n", addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	wd.Stop()
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "asvisor: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,10 @@
+// Package alloystack is a from-scratch Go reproduction of "AlloyStack:
+// A Library Operating System for Serverless Workflow Applications"
+// (EuroSys 2025).
+//
+// The root package holds only the evaluation benchmark suite
+// (bench_test.go); the system lives under internal/ and the runnable
+// entry points under cmd/ and examples/. Start with README.md for usage,
+// DESIGN.md for the system inventory and reproduction substitutions, and
+// EXPERIMENTS.md for paper-vs-measured results.
+package alloystack

@@ -1,0 +1,149 @@
+// Image-metadata pipeline: the Table 1 workflow (extract-image-metadata →
+// transform-metadata → store-image-metadata) on the public API,
+// demonstrating on-demand module loading across a realistic DAG: the
+// first function pulls in time/fdtab/fatfs/socket; the later ones reuse
+// every module the first one loaded.
+//
+//	go run ./examples/imagepipeline
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"alloystack/internal/asstd"
+	"alloystack/internal/blockdev"
+	"alloystack/internal/dag"
+	"alloystack/internal/fatfs"
+	"alloystack/internal/netstack"
+	"alloystack/internal/visor"
+)
+
+func main() {
+	reg := visor.NewRegistry()
+
+	// extract-image-metadata: read the image from the WFD filesystem,
+	// "parse" its header, pass metadata downstream by reference.
+	reg.RegisterNative("extract", func(env *asstd.Env, ctx visor.FuncContext) error {
+		if err := asstd.MountFS(env); err != nil {
+			return err
+		}
+		img, err := asstd.ReadFile(env, "/PHOTO.BIN")
+		if err != nil {
+			return err
+		}
+		meta := fmt.Sprintf(`{"bytes":%d,"magic":"%x"}`, len(img), img[:4])
+		b, err := asstd.NewBuffer(env, "extract->transform", uint64(len(meta)))
+		if err != nil {
+			return err
+		}
+		copy(b.Bytes(), meta)
+		return nil
+	})
+
+	// transform-metadata: enrich the JSON with a timestamp.
+	reg.RegisterNative("transform", func(env *asstd.Env, ctx visor.FuncContext) error {
+		in, err := asstd.FromSlot(env, "extract->transform")
+		if err != nil {
+			return err
+		}
+		now, err := asstd.Now(env)
+		if err != nil {
+			return err
+		}
+		enriched := fmt.Sprintf(`{"meta":%s,"at":%d}`, in.Bytes(), now.UnixMicro())
+		in.Free()
+		out, err := asstd.NewBuffer(env, "transform->store", uint64(len(enriched)))
+		if err != nil {
+			return err
+		}
+		copy(out.Bytes(), enriched)
+		return nil
+	})
+
+	// store-image-metadata: ship the record to the metadata "database"
+	// over the WFD's userspace TCP stack.
+	reg.RegisterNative("store", func(env *asstd.Env, ctx visor.FuncContext) error {
+		in, err := asstd.FromSlot(env, "transform->store")
+		if err != nil {
+			return err
+		}
+		defer in.Free()
+		conn, err := asstd.Connect(env, netstack.Endpoint{
+			Addr: netstack.IP(10, 0, 0, 100), Port: 5432,
+		})
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		if _, err := conn.Write(in.Bytes()); err != nil {
+			return err
+		}
+		ack := make([]byte, 2)
+		if _, err := conn.Read(ack); err != nil {
+			return err
+		}
+		return asstd.Printf(env, "stored metadata, db replied %q\n", ack)
+	})
+
+	// Stage the WFD's disk image with the input photo.
+	disk := blockdev.NewMemDisk(16 << 20)
+	fs, err := fatfs.Format(disk, fatfs.MkfsOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	photo := append([]byte{0x89, 'P', 'N', 'G'}, make([]byte, 512*1024)...)
+	if err := fs.WriteFile("PHOTO.BIN", photo); err != nil {
+		log.Fatal(err)
+	}
+
+	// A "database" listening on the virtual network.
+	hub := netstack.NewHub()
+	dbNIC, err := hub.Attach(netstack.IP(10, 0, 0, 100))
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := netstack.NewStack(dbNIC)
+	defer db.Close()
+	ln, err := db.Listen(5432)
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c *netstack.Conn) {
+				buf := make([]byte, 64*1024)
+				n, _ := c.Read(buf)
+				fmt.Printf("db received %d bytes: %s\n", n, buf[:n])
+				c.Write([]byte("OK"))
+				c.Close()
+			}(c)
+		}
+	}()
+
+	v := visor.New(reg)
+	w := &dag.Workflow{
+		Name: "image-metadata",
+		Functions: []dag.FuncSpec{
+			{Name: "extract"},
+			{Name: "transform", DependsOn: []string{"extract"}},
+			{Name: "store", DependsOn: []string{"transform"}},
+		},
+	}
+	ro := visor.DefaultRunOptions()
+	ro.DiskImage = disk
+	ro.Hub = hub
+	ro.IP = netstack.IP(10, 0, 0, 1)
+	ro.Stdout = os.Stdout
+
+	res, err := v.RunWorkflow(w, ro)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pipeline done: e2e=%s cold-start=%s\n", res.E2E, res.ColdStart)
+}

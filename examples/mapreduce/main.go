@@ -1,0 +1,44 @@
+// MapReduce: the WordCount benchmark (vSwarm-style) on the public API —
+// fan-out over AsBuffer slots, a hash-partitioned shuffle, and fan-in,
+// all inside one WorkFlow Domain.
+//
+//	go run ./examples/mapreduce
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"alloystack/internal/visor"
+	"alloystack/internal/workloads"
+)
+
+func main() {
+	reg := visor.NewRegistry()
+	workloads.RegisterAll(reg)
+	v := visor.New(reg)
+
+	const inputSize = 8 << 20
+	const mappers = 4
+
+	img, err := workloads.BuildTextImage(inputSize, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := workloads.WordCount(mappers, "native")
+	ro := visor.DefaultRunOptions()
+	ro.DiskImage = img
+	ro.Stdout = os.Stdout
+
+	start := time.Now()
+	res, err := v.RunWorkflow(w, ro)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wordcount over %d MiB with %d mappers/reducers: e2e=%s (measured %s)\n",
+		inputSize>>20, mappers, res.E2E, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("stage breakdown: %v\n", res.Clock.Breakdown())
+}

@@ -1,0 +1,42 @@
+// Multilang: the same pipe workflow in all three language tiers —
+// native (≈Rust), C (ASVM AOT behind the WASI adaptation layer) and
+// Python (interpreted bytecode behind a runtime-image load) — showing
+// the multi-language support of §7.2 and the relative costs of each tier.
+//
+//	go run ./examples/multilang
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"alloystack/internal/visor"
+	"alloystack/internal/workloads"
+)
+
+func main() {
+	reg := visor.NewRegistry()
+	workloads.RegisterAll(reg)
+	v := visor.New(reg)
+
+	const size = 1 << 20
+	for _, lang := range []string{"native", "c", "python"} {
+		w := workloads.Pipe(size, lang)
+		ro := visor.DefaultRunOptions()
+		if lang == "python" {
+			img, err := workloads.BuildEmptyImage(true)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ro.DiskImage = img
+		}
+		res, err := v.RunWorkflow(w, ro)
+		if err != nil {
+			log.Fatalf("%s tier: %v", lang, err)
+		}
+		fmt.Printf("%-7s pipe %dKB: e2e=%-12s cold-start=%s\n",
+			lang, size>>10, res.E2E, res.ColdStart)
+	}
+	fmt.Println("\nnative uses zero-copy AsBuffer references; the guest tiers copy")
+	fmt.Println("through the WASI boundary, and Python pays the runtime-image read.")
+}

@@ -1,0 +1,85 @@
+// Quickstart: the paper's Figure 8 demo on the public API.
+//
+// Two functions share one WorkFlow Domain. func_a creates an AsBuffer
+// under the slot "Conference" and writes typed data into it; func_b
+// obtains the same buffer by slot and reads the data — no copy, the
+// reference crosses functions through the WFD's single address space.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"log"
+	"os"
+
+	"alloystack/internal/asstd"
+	"alloystack/internal/core"
+)
+
+// MyFuncData mirrors the paper's derive(FaasData) struct.
+type MyFuncData struct {
+	Name string
+	Year uint64
+}
+
+// MarshalFaas implements asstd.Marshaler.
+func (d MyFuncData) MarshalFaas() ([]byte, error) {
+	out := append([]byte(d.Name), 0)
+	var year [8]byte
+	binary.LittleEndian.PutUint64(year[:], d.Year)
+	return append(out, year[:]...), nil
+}
+
+// UnmarshalFaas implements asstd.Unmarshaler.
+func (d *MyFuncData) UnmarshalFaas(b []byte) error {
+	i := bytes.IndexByte(b, 0)
+	if i < 0 || len(b) < i+9 {
+		return errors.New("bad MyFuncData encoding")
+	}
+	d.Name = string(b[:i])
+	d.Year = binary.LittleEndian.Uint64(b[i+1 : i+9])
+	return nil
+}
+
+func main() {
+	// The visor instantiates one WFD per workflow invocation; nothing is
+	// loaded yet — modules come in on demand at first use.
+	wfd, err := core.Instantiate(core.Options{
+		OnDemand:    true,
+		CostScale:   1.0,
+		BufHeapSize: 64 << 20,
+		Stdout:      os.Stdout,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer wfd.Destroy()
+	fmt.Printf("WFD cold start: %s (no as-libos modules loaded yet: %d)\n",
+		wfd.ColdStart, len(wfd.NS.LoadedModules()))
+
+	// Data sender (paper's func_a).
+	err = wfd.Run("func_a", func(env *asstd.Env) error {
+		return asstd.SendValue(env, "Conference", MyFuncData{Name: "Euro", Year: 2025})
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Data receiver (paper's func_b).
+	err = wfd.Run("func_b", func(env *asstd.Env) error {
+		data, err := asstd.RecvValue[MyFuncData](env, "Conference")
+		if err != nil {
+			return err
+		}
+		return asstd.Printf(env, "%sSys, %d\n", data.Name, data.Year) // "EuroSys, 2025"
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("modules loaded on demand: %v\n", wfd.NS.LoadedModules())
+}

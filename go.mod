@@ -1,0 +1,3 @@
+module alloystack
+
+go 1.22

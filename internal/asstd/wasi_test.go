@@ -1,0 +1,239 @@
+package asstd_test
+
+import (
+	"testing"
+
+	"alloystack/internal/asstd"
+	"alloystack/internal/asvm"
+	"alloystack/internal/core"
+)
+
+// wasiFileSrc exercises the whole WASI file surface from guest code:
+// mount, create, write, seek, size, read back, close, reopen.
+const wasiFileSrc = asstd.WASISlotImports + `
+memory 65536
+data 0 "/GUEST.TXT"
+data 64 "written by the guest"
+
+func run 0 6 1
+  push 0
+  hostcall fs_mount
+  push 0
+  lt
+  jnz fail
+
+  ; create and write
+  push 0
+  push 10
+  hostcall path_create
+  local.set 0          ; fd
+  local.get 0
+  push 0
+  lt
+  jnz fail
+  local.get 0
+  push 64
+  push 20
+  hostcall fd_write
+  push 20
+  ne
+  jnz fail
+
+  ; size check
+  local.get 0
+  hostcall fd_size
+  push 20
+  ne
+  jnz fail
+
+  ; seek home and read back to 1024
+  local.get 0
+  push 0
+  push 0
+  hostcall fd_seek
+  drop
+  local.get 0
+  push 1024
+  push 20
+  hostcall fd_read
+  push 20
+  ne
+  jnz fail
+  local.get 0
+  hostcall fd_close
+  drop
+
+  ; reopen via path_open and verify first byte
+  push 0
+  push 10
+  hostcall path_open
+  local.set 1
+  local.get 1
+  push 0
+  lt
+  jnz fail
+  local.get 1
+  push 2048
+  push 20
+  hostcall fd_read
+  drop
+  push 2048
+  load8
+  push 'w'
+  ne
+  jnz fail
+  local.get 1
+  hostcall fd_close
+  drop
+
+  ; clock and random must return positive values
+  hostcall clock_time_get
+  push 0
+  le
+  jnz fail
+  hostcall random_get
+  push 0
+  le
+  jnz fail
+
+  ; legacy buffer interfaces: register then access by slot name
+  push 64
+  push 20
+  push 64
+  push 20
+  hostcall buffer_register
+  push 0
+  lt
+  jnz fail
+  push 64
+  push 20
+  push 4096
+  push 64
+  hostcall access_buffer
+  push 20
+  ne
+  jnz fail
+
+  push 0
+  ret
+fail:
+  push 1
+  ret
+end
+`
+
+func TestWASIFullFileSurface(t *testing.T) {
+	w := testWFD(t, nil)
+	env, err := w.NewEnv("guest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := asvm.NewLinker()
+	asstd.BindWASISlots(l, env, nil, nil)
+	inst, err := l.Instantiate(asvm.MustAssemble(wasiFileSrc), asvm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := inst.Call("run")
+	if err != nil {
+		t.Fatalf("guest trap: %v", err)
+	}
+	if got != 0 {
+		t.Fatalf("guest reported failure (exit %d)", got)
+	}
+	// The guest-written file is visible to native code through as-std.
+	err = w.Run("native-check", func(env *asstd.Env) error {
+		data, err := asstd.ReadFile(env, "/GUEST.TXT")
+		if err != nil {
+			return err
+		}
+		if string(data) != "written by the guest" {
+			t.Errorf("file contents = %q", data)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWASIOpenMissingFileSoftFails(t *testing.T) {
+	w := testWFD(t, nil)
+	env, err := w.NewEnv("guest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := asstd.WASISlotImports + `
+memory 4096
+data 0 "/NOPE.BIN"
+func run 0 1 1
+  push 0
+  hostcall fs_mount
+  drop
+  push 0
+  push 9
+  hostcall path_open
+  ret
+end
+`
+	l := asvm.NewLinker()
+	asstd.BindWASISlots(l, env, nil, nil)
+	inst, err := l.Instantiate(asvm.MustAssemble(src), asvm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd, err := inst.Call("run")
+	if err != nil {
+		t.Fatalf("missing file must soft-fail, got trap: %v", err)
+	}
+	if fd != -1 {
+		t.Fatalf("path_open(missing) = %d, want -1", fd)
+	}
+}
+
+func TestMmapFileViaEnv(t *testing.T) {
+	w := testWFD(t, nil)
+	err := w.Run("f", func(env *asstd.Env) error {
+		if err := asstd.MountFS(env); err != nil {
+			return err
+		}
+		if err := asstd.WriteFile(env, "/MAP.BIN", []byte("fault me in")); err != nil {
+			return err
+		}
+		base, err := asstd.MmapFile(env, "/MAP.BIN", 0)
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, 11)
+		if err := env.Space().ReadAt(env.Context(), base, buf); err != nil {
+			return err
+		}
+		if string(buf) != "fault me in" {
+			t.Errorf("mapped contents = %q", buf)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Space.Faults() == 0 {
+		t.Fatal("no page fault served: mapping was not lazy")
+	}
+}
+
+func TestSendValueErrorPaths(t *testing.T) {
+	w := testWFD(t, nil)
+	w.Run("a", func(env *asstd.Env) error {
+		if err := asstd.SendValue(env, "dup-slot", failMarshal{}); err == nil {
+			t.Error("marshal error swallowed")
+		}
+		return nil
+	})
+}
+
+type failMarshal struct{}
+
+func (failMarshal) MarshalFaas() ([]byte, error) { return nil, errTest }
+func (*failMarshal) UnmarshalFaas([]byte) error  { return nil }
+
+var errTest = core.ErrFunctionFault // any sentinel works for the test

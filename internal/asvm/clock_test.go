@@ -1,0 +1,6 @@
+package asvm
+
+import "time"
+
+// nowNanos is a test helper for coarse engine timing comparisons.
+func nowNanos() int64 { return time.Now().UnixNano() }

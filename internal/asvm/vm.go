@@ -1,0 +1,513 @@
+package asvm
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// EngineKind selects the execution strategy.
+type EngineKind int
+
+// The two engines (see the package comment for what each models).
+const (
+	EngineInterp EngineKind = iota
+	EngineAOT
+)
+
+// String names the engine.
+func (k EngineKind) String() string {
+	if k == EngineAOT {
+		return "aot"
+	}
+	return "interp"
+}
+
+// Config tunes an instance.
+type Config struct {
+	Engine EngineKind
+	// OverheadFactor >= 1 injects calibrated extra work to model a
+	// slower code generator (Wasmtime ≈ 1.3 vs WAVM 1.0 per the paper).
+	// 0 means 1.0.
+	OverheadFactor float64
+	// Fuel bounds interpreter steps; 0 means the default (1 << 40).
+	Fuel int64
+	// MaxMem bounds linear memory growth; 0 means 1 GiB.
+	MaxMem int64
+	// StackCap bounds the value stack; 0 means 64k values.
+	StackCap int
+}
+
+// HostFunc is a host function callable from guest code. args are the
+// popped stack values (first pushed first); the result is pushed if the
+// import is declared with HasResult.
+type HostFunc func(vm *Instance, args []int64) (int64, error)
+
+// Linker binds import names to host functions, mirroring wasmtime's
+// Linker in the paper's multi-language layer.
+type Linker struct {
+	funcs map[string]HostFunc
+}
+
+// NewLinker returns an empty linker.
+func NewLinker() *Linker { return &Linker{funcs: make(map[string]HostFunc)} }
+
+// Define binds name to fn, replacing any previous binding.
+func (l *Linker) Define(name string, fn HostFunc) { l.funcs[name] = fn }
+
+// Instantiate validates prog and builds a runnable instance with its own
+// linear memory and globals.
+func (l *Linker) Instantiate(prog *Program, cfg Config) (*Instance, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	hosts := make([]HostFunc, len(prog.Imports))
+	for i, imp := range prog.Imports {
+		fn, ok := l.funcs[imp.Name]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrUnlinkedHost, imp.Name)
+		}
+		hosts[i] = fn
+	}
+	if cfg.OverheadFactor == 0 {
+		cfg.OverheadFactor = 1.0
+	}
+	if cfg.Fuel == 0 {
+		cfg.Fuel = 1 << 40
+	}
+	if cfg.MaxMem == 0 {
+		cfg.MaxMem = 1 << 30
+	}
+	if cfg.StackCap == 0 {
+		cfg.StackCap = 1 << 16
+	}
+	inst := &Instance{
+		prog:    prog,
+		cfg:     cfg,
+		hosts:   hosts,
+		globals: make([]int64, prog.Globals),
+		mem:     make([]byte, prog.MemSize),
+	}
+	for _, d := range prog.Data {
+		copy(inst.mem[d.Offset:], d.Bytes)
+	}
+	return inst, nil
+}
+
+// Instance is an instantiated ASVM module. Not safe for concurrent use;
+// the orchestrator gives each function instance its own Instance, exactly
+// as each function gets its own WASM store in the paper.
+type Instance struct {
+	prog    *Program
+	cfg     Config
+	hosts   []HostFunc
+	globals []int64
+	mem     []byte
+
+	stack []int64
+	fuel  int64
+	steps int64 // executed instructions (metrics + overhead injection)
+	sink  int64 // keeps overheadSpin's work observable
+}
+
+// Memory exposes the linear memory for host calls (zero-copy).
+func (inst *Instance) Memory() []byte { return inst.mem }
+
+// Steps reports the number of guest instructions executed.
+func (inst *Instance) Steps() int64 { return inst.steps }
+
+// ReadString copies a guest (ptr, len) range out of linear memory.
+func (inst *Instance) ReadString(ptr, n int64) (string, error) {
+	if ptr < 0 || n < 0 || ptr+n > int64(len(inst.mem)) {
+		return "", fmt.Errorf("%w: string [%d,%d)", ErrOOB, ptr, ptr+n)
+	}
+	return string(inst.mem[ptr : ptr+n]), nil
+}
+
+// WriteBytes copies host data into guest memory at ptr.
+func (inst *Instance) WriteBytes(ptr int64, b []byte) error {
+	if ptr < 0 || ptr+int64(len(b)) > int64(len(inst.mem)) {
+		return fmt.Errorf("%w: write [%d,%d)", ErrOOB, ptr, ptr+int64(len(b)))
+	}
+	copy(inst.mem[ptr:], b)
+	return nil
+}
+
+// frame is one call-stack entry.
+type frame struct {
+	fn     int
+	pc     int
+	locals []int64
+}
+
+const maxCallDepth = 512
+
+// Call runs the named function with args and returns its result (0 if
+// the function declares no result).
+func (inst *Instance) Call(name string, args ...int64) (int64, error) {
+	fi, err := inst.prog.FuncIndex(name)
+	if err != nil {
+		return 0, err
+	}
+	f := &inst.prog.Funcs[fi]
+	if len(args) != f.NArgs {
+		return 0, fmt.Errorf("asvm: %s wants %d args, got %d", name, f.NArgs, len(args))
+	}
+	inst.stack = inst.stack[:0]
+	inst.fuel = inst.cfg.Fuel
+	inst.stack = append(inst.stack, args...)
+	if err := inst.run(fi); err != nil {
+		return 0, err
+	}
+	if f.Results == 1 {
+		if len(inst.stack) == 0 {
+			return 0, ErrStackUnder
+		}
+		return inst.stack[len(inst.stack)-1], nil
+	}
+	return 0, nil
+}
+
+// push/pop helpers operating on the shared value stack.
+func (inst *Instance) push(v int64) error {
+	if len(inst.stack) >= inst.cfg.StackCap {
+		return ErrStackOver
+	}
+	inst.stack = append(inst.stack, v)
+	return nil
+}
+
+func (inst *Instance) pop() (int64, error) {
+	n := len(inst.stack)
+	if n == 0 {
+		return 0, ErrStackUnder
+	}
+	v := inst.stack[n-1]
+	inst.stack = inst.stack[:n-1]
+	return v, nil
+}
+
+func (inst *Instance) pop2() (a, b int64, err error) {
+	if b, err = inst.pop(); err != nil {
+		return
+	}
+	a, err = inst.pop()
+	return
+}
+
+// newFrame pops the callee's arguments into fresh locals.
+func (inst *Instance) newFrame(fi int) (*frame, error) {
+	f := &inst.prog.Funcs[fi]
+	locals := make([]int64, f.NLocals)
+	for i := f.NArgs - 1; i >= 0; i-- {
+		v, err := inst.pop()
+		if err != nil {
+			return nil, err
+		}
+		locals[i] = v
+	}
+	return &frame{fn: fi, locals: locals}, nil
+}
+
+// overheadSpin injects (factor-1) units of dummy work per unit executed,
+// modelling a less efficient code generator. The returned value is
+// stored into a per-instance sink to defeat dead-code elimination.
+func overheadSpin(units int64) int64 {
+	var acc int64
+	for i := int64(0); i < units; i++ {
+		acc += i ^ (acc << 1)
+	}
+	return acc
+}
+
+// blockSize is how many instructions execute between fuel/overhead checks
+// in the AOT engine (a basic-block-ish granularity).
+const blockSize = 256
+
+// run executes starting at function fi until it returns.
+func (inst *Instance) run(fi int) error {
+	fr, err := inst.newFrame(fi)
+	if err != nil {
+		return err
+	}
+	callStack := make([]*frame, 0, 16)
+	callStack = append(callStack, fr)
+
+	interp := inst.cfg.Engine == EngineInterp
+	overheadUnits := 0.0
+	perOpOverhead := inst.cfg.OverheadFactor - 1.0
+
+	sinceCheck := 0
+	for len(callStack) > 0 {
+		fr := callStack[len(callStack)-1]
+		code := inst.prog.Funcs[fr.fn].Code
+		if fr.pc >= len(code) {
+			// Fall off the end: implicit return.
+			callStack = callStack[:len(callStack)-1]
+			continue
+		}
+		ins := code[fr.pc]
+		fr.pc++
+		inst.steps++
+
+		if interp {
+			// Per-instruction accounting: the interpreter pays fuel and
+			// overhead checks on every step, like bytecode dispatch.
+			inst.fuel--
+			if inst.fuel < 0 {
+				return ErrFuelExhausted
+			}
+			if perOpOverhead > 0 {
+				overheadUnits += perOpOverhead
+				if overheadUnits >= 1 {
+					n := int64(overheadUnits)
+					inst.sink += overheadSpin(n)
+					overheadUnits -= float64(n)
+				}
+			}
+			// The interpreter's dispatch penalty: it re-reads operands
+			// through a bounds-checked accessor path.
+			inst.sink += overheadSpin(4)
+		} else {
+			sinceCheck++
+			if sinceCheck >= blockSize {
+				inst.fuel -= int64(sinceCheck)
+				if inst.fuel < 0 {
+					return ErrFuelExhausted
+				}
+				if perOpOverhead > 0 {
+					inst.sink += overheadSpin(int64(perOpOverhead * float64(sinceCheck)))
+				}
+				sinceCheck = 0
+			}
+		}
+
+		switch ins.Op {
+		case OpNop:
+		case OpPush:
+			if err := inst.push(ins.Arg); err != nil {
+				return err
+			}
+		case OpDrop:
+			if _, err := inst.pop(); err != nil {
+				return err
+			}
+		case OpDup:
+			v, err := inst.pop()
+			if err != nil {
+				return err
+			}
+			inst.push(v)
+			if err := inst.push(v); err != nil {
+				return err
+			}
+		case OpSwap:
+			a, b, err := inst.pop2()
+			if err != nil {
+				return err
+			}
+			inst.push(b)
+			inst.push(a)
+		case OpLocalGet:
+			if err := inst.push(fr.locals[ins.Arg]); err != nil {
+				return err
+			}
+		case OpLocalSet:
+			v, err := inst.pop()
+			if err != nil {
+				return err
+			}
+			fr.locals[ins.Arg] = v
+		case OpGlobalGet:
+			if err := inst.push(inst.globals[ins.Arg]); err != nil {
+				return err
+			}
+		case OpGlobalSet:
+			v, err := inst.pop()
+			if err != nil {
+				return err
+			}
+			inst.globals[ins.Arg] = v
+		case OpAdd, OpSub, OpMul, OpDivS, OpRemS, OpAnd, OpOr, OpXor, OpShl, OpShrS,
+			OpEq, OpNe, OpLtS, OpGtS, OpLeS, OpGeS:
+			a, b, err := inst.pop2()
+			if err != nil {
+				return err
+			}
+			v, err := binop(ins.Op, a, b)
+			if err != nil {
+				return err
+			}
+			if err := inst.push(v); err != nil {
+				return err
+			}
+		case OpJmp:
+			fr.pc = int(ins.Arg)
+		case OpJz:
+			c, err := inst.pop()
+			if err != nil {
+				return err
+			}
+			if c == 0 {
+				fr.pc = int(ins.Arg)
+			}
+		case OpJnz:
+			c, err := inst.pop()
+			if err != nil {
+				return err
+			}
+			if c != 0 {
+				fr.pc = int(ins.Arg)
+			}
+		case OpCall:
+			if len(callStack) >= maxCallDepth {
+				return ErrCallDepth
+			}
+			nf, err := inst.newFrame(int(ins.Arg))
+			if err != nil {
+				return err
+			}
+			callStack = append(callStack, nf)
+		case OpHost:
+			imp := inst.prog.Imports[ins.Arg]
+			args := make([]int64, imp.Arity)
+			for i := imp.Arity - 1; i >= 0; i-- {
+				v, err := inst.pop()
+				if err != nil {
+					return err
+				}
+				args[i] = v
+			}
+			res, err := inst.hosts[ins.Arg](inst, args)
+			if err != nil {
+				return fmt.Errorf("asvm: host %s: %w", imp.Name, err)
+			}
+			if imp.HasResult {
+				if err := inst.push(res); err != nil {
+					return err
+				}
+			}
+		case OpRet:
+			callStack = callStack[:len(callStack)-1]
+		case OpLoad8U:
+			addr, err := inst.pop()
+			if err != nil {
+				return err
+			}
+			if addr < 0 || addr >= int64(len(inst.mem)) {
+				return fmt.Errorf("%w: load8 @%d", ErrOOB, addr)
+			}
+			inst.push(int64(inst.mem[addr]))
+		case OpLoad64:
+			addr, err := inst.pop()
+			if err != nil {
+				return err
+			}
+			if addr < 0 || addr+8 > int64(len(inst.mem)) {
+				return fmt.Errorf("%w: load64 @%d", ErrOOB, addr)
+			}
+			inst.push(int64(binary.LittleEndian.Uint64(inst.mem[addr:])))
+		case OpStore8:
+			addr, v, err := inst.pop2()
+			if err != nil {
+				return err
+			}
+			if addr < 0 || addr >= int64(len(inst.mem)) {
+				return fmt.Errorf("%w: store8 @%d", ErrOOB, addr)
+			}
+			inst.mem[addr] = byte(v)
+		case OpStore64:
+			addr, v, err := inst.pop2()
+			if err != nil {
+				return err
+			}
+			if addr < 0 || addr+8 > int64(len(inst.mem)) {
+				return fmt.Errorf("%w: store64 @%d", ErrOOB, addr)
+			}
+			binary.LittleEndian.PutUint64(inst.mem[addr:], uint64(v))
+		case OpMemSize:
+			inst.push(int64(len(inst.mem)))
+		case OpMemGrow:
+			extra, err := inst.pop()
+			if err != nil {
+				return err
+			}
+			old := int64(len(inst.mem))
+			if extra < 0 || old+extra > inst.cfg.MaxMem {
+				return fmt.Errorf("%w: grow %d past limit %d", ErrOOB, extra, inst.cfg.MaxMem)
+			}
+			inst.mem = append(inst.mem, make([]byte, extra)...)
+			inst.push(old)
+		case OpMemCopy:
+			n, err := inst.pop()
+			if err != nil {
+				return err
+			}
+			dst, src, err := inst.pop2()
+			if err != nil {
+				return err
+			}
+			if n < 0 || dst < 0 || src < 0 ||
+				dst+n > int64(len(inst.mem)) || src+n > int64(len(inst.mem)) {
+				return fmt.Errorf("%w: memcopy dst=%d src=%d n=%d", ErrOOB, dst, src, n)
+			}
+			copy(inst.mem[dst:dst+n], inst.mem[src:src+n])
+		case OpHalt:
+			return nil
+		default:
+			return fmt.Errorf("asvm: bad opcode %v", ins.Op)
+		}
+	}
+	return nil
+}
+
+// binop applies an arithmetic or comparison operator.
+func binop(op Op, a, b int64) (int64, error) {
+	switch op {
+	case OpAdd:
+		return a + b, nil
+	case OpSub:
+		return a - b, nil
+	case OpMul:
+		return a * b, nil
+	case OpDivS:
+		if b == 0 {
+			return 0, ErrDivZero
+		}
+		return a / b, nil
+	case OpRemS:
+		if b == 0 {
+			return 0, ErrDivZero
+		}
+		return a % b, nil
+	case OpAnd:
+		return a & b, nil
+	case OpOr:
+		return a | b, nil
+	case OpXor:
+		return a ^ b, nil
+	case OpShl:
+		return a << (uint64(b) & 63), nil
+	case OpShrS:
+		return a >> (uint64(b) & 63), nil
+	case OpEq:
+		return b2i(a == b), nil
+	case OpNe:
+		return b2i(a != b), nil
+	case OpLtS:
+		return b2i(a < b), nil
+	case OpGtS:
+		return b2i(a > b), nil
+	case OpLeS:
+		return b2i(a <= b), nil
+	case OpGeS:
+		return b2i(a >= b), nil
+	}
+	return 0, fmt.Errorf("asvm: not a binop: %v", op)
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

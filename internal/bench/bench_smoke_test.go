@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// smokeOpts run experiments at minimum size with injected costs nearly
+// off, validating plumbing rather than ratios.
+func smokeOpts() Options {
+	return Options{
+		Scale:      1.0 / 256,
+		CostScale:  0.01,
+		Iterations: 1,
+	}
+}
+
+type expFunc func(Options) (*Report, error)
+
+func runExp(t *testing.T, name string, fn expFunc) *Report {
+	t.Helper()
+	rep, err := fn(smokeOpts())
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if rep.ID == "" || len(rep.Header) == 0 || len(rep.Rows) == 0 {
+		t.Fatalf("%s: empty report %+v", name, rep)
+	}
+	// Every row must have at least as many non-empty leading cells as
+	// makes a meaningful table line.
+	for _, row := range rep.Rows {
+		if len(row) == 0 {
+			t.Fatalf("%s: empty row", name)
+		}
+	}
+	return rep
+}
+
+func TestTable1Smoke(t *testing.T) {
+	rep := runExp(t, "table1", Table1)
+	if len(rep.Rows) != 9 {
+		t.Fatalf("table1 rows = %d, want 9 functions", len(rep.Rows))
+	}
+	byName := map[string]string{}
+	for _, row := range rep.Rows {
+		byName[row[0]] = row[1]
+	}
+	// alu must be minimal (only mm) and online-compiling maximal.
+	if byName["alu"] != "mm" {
+		t.Fatalf("alu modules = %q, want just mm", byName["alu"])
+	}
+	for _, m := range []string{"mm", "fdtab", "fatfs", "socket", "stdio", "time", "mmap_file_backend"} {
+		if !strings.Contains(byName["online-compiling"], m) {
+			t.Fatalf("online-compiling missing %s: %q", m, byName["online-compiling"])
+		}
+	}
+	// No probe should load everything except online-compiling.
+	if strings.Contains(byName["transform-metadata"], "socket") {
+		t.Fatalf("transform-metadata loaded socket: %q", byName["transform-metadata"])
+	}
+}
+
+func TestFig2Smoke(t *testing.T) {
+	rep := runExp(t, "fig2", Fig2)
+	if len(rep.Rows) != 4 {
+		t.Fatalf("fig2 rows = %d", len(rep.Rows))
+	}
+}
+
+func TestFig3Smoke(t *testing.T) {
+	runExp(t, "fig3", Fig3)
+}
+
+func TestFig10Smoke(t *testing.T) {
+	rep := runExp(t, "fig10", Fig10)
+	if len(rep.Rows) < 10 {
+		t.Fatalf("fig10 rows = %d", len(rep.Rows))
+	}
+}
+
+func TestFig11Smoke(t *testing.T) {
+	rep := runExp(t, "fig11", Fig11)
+	if len(rep.Rows) != 4 {
+		t.Fatalf("fig11 rows = %d", len(rep.Rows))
+	}
+	if len(rep.Rows[0]) != 9 {
+		t.Fatalf("fig11 cols = %d", len(rep.Rows[0]))
+	}
+}
+
+func TestFig12Smoke(t *testing.T) {
+	rep := runExp(t, "fig12", Fig12)
+	if len(rep.Rows) != 9 {
+		t.Fatalf("fig12 rows = %d", len(rep.Rows))
+	}
+}
+
+func TestFig13Smoke(t *testing.T) {
+	rep := runExp(t, "fig13", Fig13)
+	if len(rep.Rows) != 9 {
+		t.Fatalf("fig13 rows = %d", len(rep.Rows))
+	}
+}
+
+func TestFig14Smoke(t *testing.T) {
+	rep := runExp(t, "fig14", Fig14)
+	if len(rep.Rows) != 3 {
+		t.Fatalf("fig14 rows = %d", len(rep.Rows))
+	}
+}
+
+func TestFig15Smoke(t *testing.T) {
+	rep := runExp(t, "fig15", Fig15)
+	if len(rep.Rows) != 9 { // 3 workloads x 3 systems
+		t.Fatalf("fig15 rows = %d", len(rep.Rows))
+	}
+}
+
+func TestFig16Smoke(t *testing.T) {
+	rep := runExp(t, "fig16", Fig16)
+	if len(rep.Rows) != 3 {
+		t.Fatalf("fig16 rows = %d", len(rep.Rows))
+	}
+}
+
+func TestFig17aSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load sweep")
+	}
+	runExp(t, "fig17a", Fig17a)
+}
+
+func TestFig17bSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load sweep")
+	}
+	runExp(t, "fig17b", Fig17b)
+}
+
+func TestTable4Smoke(t *testing.T) {
+	rep := runExp(t, "table4", Table4)
+	if len(rep.Rows) != 4 {
+		t.Fatalf("table4 rows = %d", len(rep.Rows))
+	}
+}
+
+func TestEnginesSmoke(t *testing.T) {
+	rep := runExp(t, "engines", Engines)
+	if len(rep.Rows) != 3 {
+		t.Fatalf("engines rows = %d", len(rep.Rows))
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	r := &Report{
+		ID:     "x",
+		Title:  "demo",
+		Header: []string{"A", "LongHeader"},
+		Rows:   [][]string{{"row1cellthatislong", "1"}},
+		Notes:  []string{"a note"},
+	}
+	s := r.String()
+	for _, want := range []string{"== x: demo ==", "LongHeader", "row1cellthatislong", "note: a note"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendered report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestOptionsScaling(t *testing.T) {
+	o := Options{Scale: 0.5}.withDefaults()
+	if got := o.size(1 << 20); got != 512*1024 {
+		t.Fatalf("size = %d", got)
+	}
+	if got := o.size(100); got != 4096 {
+		t.Fatalf("minimum size = %d", got)
+	}
+	if o.size(1<<20)%8 != 0 {
+		t.Fatal("size not 8-byte aligned")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if median(nil) != 0 {
+		t.Fatal("median of empty != 0")
+	}
+	got := median([]time.Duration{3, 1, 2})
+	if got != 2 {
+		t.Fatalf("median = %d", got)
+	}
+}

@@ -1,0 +1,32 @@
+package dag
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestShippedConfigsParse keeps the example configs in configs/ valid.
+func TestShippedConfigsParse(t *testing.T) {
+	dir := filepath.Join("..", "..", "configs")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read configs dir: %v", err)
+	}
+	if len(entries) < 3 {
+		t.Fatalf("expected shipped configs, found %d", len(entries))
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := Parse(data)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if _, err := w.Stages(); err != nil {
+			t.Fatalf("%s stages: %v", e.Name(), err)
+		}
+	}
+}

@@ -1,0 +1,801 @@
+package fatfs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"alloystack/internal/blockdev"
+)
+
+// FS is a mounted FAT32 volume. The FAT is cached in memory and written
+// through to the device, matching how rust-fatfs keeps the allocation
+// table hot while data goes to the block layer. All methods are safe for
+// concurrent use by the functions of a WFD; the LibOS serialises
+// conflicting writes at a higher level but the filesystem itself must not
+// corrupt metadata under concurrency, so a single mutex guards metadata.
+type FS struct {
+	dev blockdev.Device
+	bpb *bpb
+
+	mu       sync.Mutex
+	fat      []uint32 // in-memory copy of FAT #0
+	freeHint uint32   // next-free search start
+}
+
+// MkfsOptions configures Format.
+type MkfsOptions struct {
+	// SectorsPerCluster must be a power of two; 8 (4 KiB clusters) if 0.
+	SectorsPerCluster int
+	// NumFATs is the number of FAT copies; 2 if 0.
+	NumFATs int
+}
+
+// Format writes a fresh FAT32 layout onto dev and mounts it.
+func Format(dev blockdev.Device, opts MkfsOptions) (*FS, error) {
+	spc := opts.SectorsPerCluster
+	if spc == 0 {
+		spc = 8
+	}
+	nfats := opts.NumFATs
+	if nfats == 0 {
+		nfats = 2
+	}
+	totalSectors := uint32(dev.Size() / sectorSize)
+	if totalSectors < 128 {
+		return nil, fmt.Errorf("%w: device too small (%d sectors)", ErrBadImage, totalSectors)
+	}
+
+	// Solve for FAT size: each FAT sector maps 128 clusters.
+	reserved := uint32(32)
+	clusters := (totalSectors - reserved) / uint32(spc)
+	fatSectors := (clusters + 2 + 127) / 128 // +2 for reserved entries
+	// Recompute clusters after carving out the FATs.
+	clusters = (totalSectors - reserved - uint32(nfats)*fatSectors) / uint32(spc)
+
+	b := &bpb{
+		bytesPerSector:    sectorSize,
+		sectorsPerCluster: uint8(spc),
+		reservedSectors:   uint16(reserved),
+		numFATs:           uint8(nfats),
+		totalSectors:      totalSectors,
+		sectorsPerFAT:     fatSectors,
+		rootCluster:       2,
+	}
+	if err := dev.WriteAt(b.encode(), 0); err != nil {
+		return nil, err
+	}
+
+	// Zero the FATs and set the reserved entries.
+	zero := make([]byte, sectorSize)
+	for f := 0; f < nfats; f++ {
+		start := int64(reserved+uint32(f)*fatSectors) * sectorSize
+		for s := uint32(0); s < fatSectors; s++ {
+			if err := dev.WriteAt(zero, start+int64(s)*sectorSize); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	fs := &FS{
+		dev:      dev,
+		bpb:      b,
+		fat:      make([]uint32, clusters+2),
+		freeHint: 3,
+	}
+	// Entries 0 and 1 are reserved; root dir occupies cluster 2.
+	fs.fat[0] = 0x0FFFFFF8
+	fs.fat[1] = fatEOC
+	fs.fat[2] = fatEOC
+	if err := fs.flushFATEntry(0); err != nil {
+		return nil, err
+	}
+	if err := fs.flushFATEntry(1); err != nil {
+		return nil, err
+	}
+	if err := fs.flushFATEntry(2); err != nil {
+		return nil, err
+	}
+	// Zero the root directory cluster.
+	if err := fs.zeroCluster(2); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+// Mount reads an existing FAT32 layout from dev.
+func Mount(dev blockdev.Device) (*FS, error) {
+	boot := make([]byte, sectorSize)
+	if err := dev.ReadAt(boot, 0); err != nil {
+		return nil, err
+	}
+	b, err := decodeBPB(boot)
+	if err != nil {
+		return nil, err
+	}
+	fs := &FS{dev: dev, bpb: b, freeHint: 3}
+	clusters := b.clusterCount()
+	fs.fat = make([]uint32, clusters+2)
+	// Load FAT #0.
+	raw := make([]byte, int(b.sectorsPerFAT)*sectorSize)
+	if err := dev.ReadAt(raw, int64(b.reservedSectors)*sectorSize); err != nil {
+		return nil, err
+	}
+	for i := range fs.fat {
+		fs.fat[i] = binary.LittleEndian.Uint32(raw[i*4:]) & fatEntryMask
+	}
+	return fs, nil
+}
+
+// ---- FAT management ----
+
+// clusterOffset returns the device byte offset of a data cluster.
+func (fs *FS) clusterOffset(cluster uint32) int64 {
+	sector := int64(fs.bpb.firstDataSector()) + int64(cluster-2)*int64(fs.bpb.sectorsPerCluster)
+	return sector * sectorSize
+}
+
+// flushFATEntry writes one FAT entry through to every FAT copy.
+// Caller holds fs.mu (or is in single-threaded setup).
+func (fs *FS) flushFATEntry(cluster uint32) error {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], fs.fat[cluster]&fatEntryMask)
+	for f := uint32(0); f < uint32(fs.bpb.numFATs); f++ {
+		off := int64(uint32(fs.bpb.reservedSectors)+f*fs.bpb.sectorsPerFAT)*sectorSize + int64(cluster)*4
+		if err := fs.dev.WriteAt(buf[:], off); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// allocCluster finds a free cluster, marks it end-of-chain and returns it.
+// Caller holds fs.mu.
+func (fs *FS) allocCluster() (uint32, error) {
+	n := uint32(len(fs.fat))
+	for i := uint32(0); i < n; i++ {
+		c := fs.freeHint + i
+		if c >= n {
+			c = c - n + 2 // wrap, skipping reserved entries
+			if c >= n {
+				break
+			}
+		}
+		if c < 2 {
+			continue
+		}
+		if fs.fat[c] == fatFree {
+			fs.fat[c] = fatEOC
+			fs.freeHint = c + 1
+			if err := fs.flushFATEntry(c); err != nil {
+				return 0, err
+			}
+			return c, nil
+		}
+	}
+	return 0, ErrNoSpace
+}
+
+// freeChain releases every cluster in the chain starting at first.
+// Caller holds fs.mu.
+func (fs *FS) freeChain(first uint32) error {
+	for c := first; c >= 2 && c < uint32(len(fs.fat)) && fs.fat[c] != fatFree; {
+		next := fs.fat[c]
+		fs.fat[c] = fatFree
+		if err := fs.flushFATEntry(c); err != nil {
+			return err
+		}
+		if next >= fatEOC || next == fatBad {
+			break
+		}
+		c = next
+	}
+	return nil
+}
+
+// chain returns the list of clusters of the chain starting at first.
+// Caller holds fs.mu.
+func (fs *FS) chain(first uint32) ([]uint32, error) {
+	var out []uint32
+	seen := make(map[uint32]bool)
+	for c := first; c >= 2; {
+		if c >= uint32(len(fs.fat)) || seen[c] {
+			return nil, fmt.Errorf("%w: corrupt FAT chain at %d", ErrBadImage, c)
+		}
+		seen[c] = true
+		out = append(out, c)
+		next := fs.fat[c]
+		if next >= fatEOC {
+			break
+		}
+		if next == fatFree || next == fatBad {
+			return nil, fmt.Errorf("%w: chain hits free/bad cluster", ErrBadImage)
+		}
+		c = next
+	}
+	return out, nil
+}
+
+// extendChain appends a fresh cluster to the chain ending at last.
+// Caller holds fs.mu.
+func (fs *FS) extendChain(last uint32) (uint32, error) {
+	c, err := fs.allocCluster()
+	if err != nil {
+		return 0, err
+	}
+	if last >= 2 {
+		fs.fat[last] = c
+		if err := fs.flushFATEntry(last); err != nil {
+			return 0, err
+		}
+	}
+	return c, nil
+}
+
+func (fs *FS) zeroCluster(cluster uint32) error {
+	zero := make([]byte, fs.bpb.clusterBytes())
+	return fs.dev.WriteAt(zero, fs.clusterOffset(cluster))
+}
+
+// FreeClusters reports the number of unallocated clusters.
+func (fs *FS) FreeClusters() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n := 0
+	for c := uint32(2); c < uint32(len(fs.fat)); c++ {
+		if fs.fat[c] == fatFree {
+			n++
+		}
+	}
+	return n
+}
+
+// ClusterSize reports the filesystem's cluster size in bytes.
+func (fs *FS) ClusterSize() int { return fs.bpb.clusterBytes() }
+
+// ---- directory operations ----
+
+// readDirChain loads the full byte contents of a directory chain.
+// Caller holds fs.mu.
+func (fs *FS) readDirChain(first uint32) ([]byte, []uint32, error) {
+	clusters, err := fs.chain(first)
+	if err != nil {
+		return nil, nil, err
+	}
+	cb := fs.bpb.clusterBytes()
+	buf := make([]byte, len(clusters)*cb)
+	for i, c := range clusters {
+		if err := fs.dev.ReadAt(buf[i*cb:(i+1)*cb], fs.clusterOffset(c)); err != nil {
+			return nil, nil, err
+		}
+	}
+	return buf, clusters, nil
+}
+
+// writeDirEntry stores a 32-byte entry at offset within the directory
+// whose chain starts at dirCluster, extending the chain if needed.
+// Caller holds fs.mu.
+func (fs *FS) writeDirEntry(dirCluster uint32, offset int, entry []byte) error {
+	clusters, err := fs.chain(dirCluster)
+	if err != nil {
+		return err
+	}
+	cb := fs.bpb.clusterBytes()
+	idx := offset / cb
+	for idx >= len(clusters) {
+		nc, err := fs.extendChain(clusters[len(clusters)-1])
+		if err != nil {
+			return err
+		}
+		if err := fs.zeroCluster(nc); err != nil {
+			return err
+		}
+		clusters = append(clusters, nc)
+	}
+	return fs.dev.WriteAt(entry, fs.clusterOffset(clusters[idx])+int64(offset%cb))
+}
+
+// lookupIn scans the directory chain at dirCluster for name.
+// Caller holds fs.mu.
+func (fs *FS) lookupIn(dirCluster uint32, name string) (*dirEntry, error) {
+	sn, err := encodeShortName(name)
+	if err != nil {
+		return nil, err
+	}
+	buf, _, err := fs.readDirChain(dirCluster)
+	if err != nil {
+		return nil, err
+	}
+	for off := 0; off+dirEntrySize <= len(buf); off += dirEntrySize {
+		rec := buf[off : off+dirEntrySize]
+		switch rec[0] {
+		case 0x00:
+			return nil, fmt.Errorf("%w: %s", ErrNotExist, name)
+		case delMarker:
+			continue
+		}
+		e := decodeDirEntry(rec)
+		if e.attr&attrVolumeID != 0 {
+			continue
+		}
+		if e.name == sn {
+			e.entryCluster = dirCluster
+			e.entryOffset = off
+			return &e, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %s", ErrNotExist, name)
+}
+
+// findFreeSlot returns the offset of the first usable directory slot.
+// Caller holds fs.mu.
+func (fs *FS) findFreeSlot(dirCluster uint32) (int, error) {
+	buf, _, err := fs.readDirChain(dirCluster)
+	if err != nil {
+		return 0, err
+	}
+	for off := 0; off+dirEntrySize <= len(buf); off += dirEntrySize {
+		if buf[off] == 0x00 || buf[off] == delMarker {
+			return off, nil
+		}
+	}
+	return len(buf), nil // extend the directory
+}
+
+// splitPath normalises p and returns its components.
+func splitPath(p string) []string {
+	var parts []string
+	for _, c := range strings.Split(p, "/") {
+		switch c {
+		case "", ".":
+		default:
+			parts = append(parts, c)
+		}
+	}
+	return parts
+}
+
+// walkDir resolves the directory path components and returns the first
+// cluster of the final directory. Caller holds fs.mu.
+func (fs *FS) walkDir(parts []string) (uint32, error) {
+	cur := fs.bpb.rootCluster
+	for _, name := range parts {
+		e, err := fs.lookupIn(cur, name)
+		if err != nil {
+			return 0, err
+		}
+		if !e.isDir() {
+			return 0, fmt.Errorf("%w: %s", ErrNotDir, name)
+		}
+		cur = e.cluster
+	}
+	return cur, nil
+}
+
+// resolve splits path into (parent directory cluster, base name).
+// Caller holds fs.mu.
+func (fs *FS) resolve(path string) (uint32, string, error) {
+	parts := splitPath(path)
+	if len(parts) == 0 {
+		return 0, "", fmt.Errorf("%w: empty path", ErrBadName)
+	}
+	dir, err := fs.walkDir(parts[:len(parts)-1])
+	if err != nil {
+		return 0, "", err
+	}
+	return dir, parts[len(parts)-1], nil
+}
+
+// Mkdir creates a directory. Parent directories must exist.
+func (fs *FS) Mkdir(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	dir, name, err := fs.resolve(path)
+	if err != nil {
+		return err
+	}
+	if _, err := fs.lookupIn(dir, name); err == nil {
+		return fmt.Errorf("%w: %s", ErrExist, path)
+	}
+	sn, err := encodeShortName(name)
+	if err != nil {
+		return err
+	}
+	c, err := fs.allocCluster()
+	if err != nil {
+		return err
+	}
+	if err := fs.zeroCluster(c); err != nil {
+		return err
+	}
+	slot, err := fs.findFreeSlot(dir)
+	if err != nil {
+		return err
+	}
+	e := dirEntry{name: sn, attr: attrDir, cluster: c}
+	return fs.writeDirEntry(dir, slot, e.encode())
+}
+
+// ReadDir lists the entries of the directory at path ("" or "/" = root).
+func (fs *FS) ReadDir(path string) ([]FileInfo, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	dir, err := fs.walkDir(splitPath(path))
+	if err != nil {
+		return nil, err
+	}
+	buf, _, err := fs.readDirChain(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []FileInfo
+	for off := 0; off+dirEntrySize <= len(buf); off += dirEntrySize {
+		rec := buf[off : off+dirEntrySize]
+		if rec[0] == 0x00 {
+			break
+		}
+		if rec[0] == delMarker {
+			continue
+		}
+		e := decodeDirEntry(rec)
+		if e.attr&attrVolumeID != 0 {
+			continue
+		}
+		out = append(out, FileInfo{
+			Name:  e.name.String(),
+			Size:  int64(e.size),
+			IsDir: e.isDir(),
+		})
+	}
+	return out, nil
+}
+
+// Stat describes the entry at path.
+func (fs *FS) Stat(path string) (FileInfo, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	parts := splitPath(path)
+	if len(parts) == 0 {
+		return FileInfo{Name: "/", IsDir: true}, nil
+	}
+	dir, err := fs.walkDir(parts[:len(parts)-1])
+	if err != nil {
+		return FileInfo{}, err
+	}
+	e, err := fs.lookupIn(dir, parts[len(parts)-1])
+	if err != nil {
+		return FileInfo{}, err
+	}
+	return FileInfo{Name: e.name.String(), Size: int64(e.size), IsDir: e.isDir()}, nil
+}
+
+// Remove deletes a file or an empty directory.
+func (fs *FS) Remove(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	dir, name, err := fs.resolve(path)
+	if err != nil {
+		return err
+	}
+	e, err := fs.lookupIn(dir, name)
+	if err != nil {
+		return err
+	}
+	if e.isDir() {
+		buf, _, err := fs.readDirChain(e.cluster)
+		if err != nil {
+			return err
+		}
+		for off := 0; off+dirEntrySize <= len(buf); off += dirEntrySize {
+			if buf[off] == 0x00 {
+				break
+			}
+			if buf[off] != delMarker {
+				return fmt.Errorf("%w: %s", ErrNotEmpty, path)
+			}
+		}
+	}
+	if e.cluster >= 2 {
+		if err := fs.freeChain(e.cluster); err != nil {
+			return err
+		}
+	}
+	mark := e.encode()
+	mark[0] = delMarker
+	return fs.writeDirEntry(dir, e.entryOffset, mark)
+}
+
+// ---- file handles ----
+
+// File is an open handle onto a regular file. It is not safe for
+// concurrent use by multiple goroutines; the fd table layer hands each
+// function its own handle.
+type File struct {
+	fs    *FS
+	entry dirEntry
+	pos   int64
+}
+
+// Create creates (or truncates) a file and returns a handle.
+func (fs *FS) Create(path string) (*File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	dir, name, err := fs.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	if e, err := fs.lookupIn(dir, name); err == nil {
+		if e.isDir() {
+			return nil, fmt.Errorf("%w: %s", ErrIsDir, path)
+		}
+		// Truncate in place.
+		if e.cluster >= 2 {
+			if err := fs.freeChain(e.cluster); err != nil {
+				return nil, err
+			}
+		}
+		e.cluster = 0
+		e.size = 0
+		if err := fs.writeDirEntry(dir, e.entryOffset, e.encode()); err != nil {
+			return nil, err
+		}
+		return &File{fs: fs, entry: *e}, nil
+	}
+	sn, err := encodeShortName(name)
+	if err != nil {
+		return nil, err
+	}
+	slot, err := fs.findFreeSlot(dir)
+	if err != nil {
+		return nil, err
+	}
+	e := dirEntry{name: sn, attr: attrArchive, entryCluster: dir, entryOffset: slot}
+	if err := fs.writeDirEntry(dir, slot, e.encode()); err != nil {
+		return nil, err
+	}
+	return &File{fs: fs, entry: e}, nil
+}
+
+// Open opens an existing file for reading and writing.
+func (fs *FS) Open(path string) (*File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	dir, name, err := fs.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	e, err := fs.lookupIn(dir, name)
+	if err != nil {
+		return nil, err
+	}
+	if e.isDir() {
+		return nil, fmt.Errorf("%w: %s", ErrIsDir, path)
+	}
+	return &File{fs: fs, entry: *e}, nil
+}
+
+// Size returns the file's current size.
+func (f *File) Size() int64 { return int64(f.entry.size) }
+
+// Seek sets the read/write position.
+func (f *File) Seek(offset int64, whence int) (int64, error) {
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = f.pos
+	case io.SeekEnd:
+		base = int64(f.entry.size)
+	default:
+		return 0, fmt.Errorf("fatfs: bad whence %d", whence)
+	}
+	np := base + offset
+	if np < 0 {
+		return 0, fmt.Errorf("fatfs: negative seek")
+	}
+	f.pos = np
+	return np, nil
+}
+
+// Read implements io.Reader.
+func (f *File) Read(p []byte) (int, error) {
+	n, err := f.ReadAt(p, f.pos)
+	f.pos += int64(n)
+	return n, err
+}
+
+// ReadAt reads from the file at offset off.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	size := int64(f.entry.size)
+	if off >= size {
+		return 0, io.EOF
+	}
+	if int64(len(p)) > size-off {
+		p = p[:size-off]
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	clusters, err := f.fs.chain(f.entry.cluster)
+	if err != nil {
+		return 0, err
+	}
+	cb := int64(f.fs.bpb.clusterBytes())
+	read := 0
+	for read < len(p) {
+		idx := (off + int64(read)) / cb
+		within := (off + int64(read)) % cb
+		if int(idx) >= len(clusters) {
+			return read, io.ErrUnexpectedEOF
+		}
+		n := int(cb - within)
+		if n > len(p)-read {
+			n = len(p) - read
+		}
+		devOff := f.fs.clusterOffset(clusters[idx]) + within
+		if err := f.fs.dev.ReadAt(p[read:read+n], devOff); err != nil {
+			return read, err
+		}
+		read += n
+	}
+	var eof error
+	if off+int64(read) >= size && read < cap(p) {
+		eof = nil // partial fills already signalled by shortened p
+	}
+	return read, eof
+}
+
+// Write implements io.Writer, growing the file as needed.
+func (f *File) Write(p []byte) (int, error) {
+	n, err := f.WriteAt(p, f.pos)
+	f.pos += int64(n)
+	return n, err
+}
+
+// WriteAt writes p at offset off, extending the FAT chain and file size
+// as needed. Sparse gaps (off beyond EOF) are zero-filled.
+func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+
+	cb := int64(f.fs.bpb.clusterBytes())
+	end := off + int64(len(p))
+	needClusters := int((end + cb - 1) / cb)
+
+	var clusters []uint32
+	var err error
+	if f.entry.cluster >= 2 {
+		clusters, err = f.fs.chain(f.entry.cluster)
+		if err != nil {
+			return 0, err
+		}
+	}
+	for len(clusters) < needClusters {
+		var last uint32
+		if len(clusters) > 0 {
+			last = clusters[len(clusters)-1]
+		}
+		nc, err := f.fs.extendChain(last)
+		if err != nil {
+			return 0, err
+		}
+		// Zero only clusters this write will not fully overwrite; fully
+		// covered clusters get their bytes immediately below, and zeroing
+		// them first would double the device write traffic.
+		idx := int64(len(clusters))
+		cStart, cEnd := idx*cb, (idx+1)*cb
+		if off > cStart || end < cEnd {
+			if err := f.fs.zeroCluster(nc); err != nil {
+				return 0, err
+			}
+		}
+		if len(clusters) == 0 {
+			f.entry.cluster = nc
+		}
+		clusters = append(clusters, nc)
+	}
+
+	written := 0
+	for written < len(p) {
+		idx := (off + int64(written)) / cb
+		within := (off + int64(written)) % cb
+		n := int(cb - within)
+		if n > len(p)-written {
+			n = len(p) - written
+		}
+		devOff := f.fs.clusterOffset(clusters[idx]) + within
+		if err := f.fs.dev.WriteAt(p[written:written+n], devOff); err != nil {
+			return written, err
+		}
+		written += n
+	}
+
+	if end > int64(f.entry.size) {
+		f.entry.size = uint32(end)
+	}
+	if err := f.fs.writeDirEntry(f.entry.entryCluster, f.entry.entryOffset, f.entry.encode()); err != nil {
+		return written, err
+	}
+	return written, nil
+}
+
+// Truncate shrinks or grows the file to size bytes.
+func (f *File) Truncate(size int64) error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	cb := int64(f.fs.bpb.clusterBytes())
+	if size > int64(f.entry.size) {
+		f.fs.mu.Unlock()
+		_, err := f.WriteAt(make([]byte, size-int64(f.entry.size)), int64(f.entry.size))
+		f.fs.mu.Lock()
+		return err
+	}
+	keep := int((size + cb - 1) / cb)
+	if f.entry.cluster >= 2 {
+		clusters, err := f.fs.chain(f.entry.cluster)
+		if err != nil {
+			return err
+		}
+		if keep < len(clusters) {
+			if keep == 0 {
+				if err := f.fs.freeChain(f.entry.cluster); err != nil {
+					return err
+				}
+				f.entry.cluster = 0
+			} else {
+				// Terminate the chain after the kept prefix.
+				f.fs.fat[clusters[keep-1]] = fatEOC
+				if err := f.fs.flushFATEntry(clusters[keep-1]); err != nil {
+					return err
+				}
+				for _, c := range clusters[keep:] {
+					f.fs.fat[c] = fatFree
+					if err := f.fs.flushFATEntry(c); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	f.entry.size = uint32(size)
+	return f.fs.writeDirEntry(f.entry.entryCluster, f.entry.entryOffset, f.entry.encode())
+}
+
+// Close releases the handle. Data is already written through.
+func (f *File) Close() error { return nil }
+
+// ---- convenience helpers used by the LibOS and workloads ----
+
+// WriteFile creates path with the given contents.
+func (fs *FS) WriteFile(path string, data []byte) error {
+	f, err := fs.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile returns the full contents of path.
+func (fs *FS) ReadFile(path string) ([]byte, error) {
+	f, err := fs.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, f.Size())
+	if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+		return nil, err
+	}
+	return buf, nil
+}

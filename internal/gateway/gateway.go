@@ -1,0 +1,115 @@
+// Package gateway implements the front door of an AlloyStack deployment
+// (paper Figure 4): invocations arrive at the gateway and are
+// load-balanced across AlloyStack processes, each of which runs a
+// watchdog HTTP server. The gateway is deliberately thin — round-robin
+// with failover — because the paper's latency story lives below it.
+package gateway
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Errors returned by the gateway.
+var (
+	ErrNoBackends = errors.New("gateway: no backends configured")
+	ErrAllDown    = errors.New("gateway: all backends failed")
+)
+
+// Gateway load-balances invocations across watchdog backends.
+type Gateway struct {
+	backends []string
+	next     atomic.Uint64
+	client   *http.Client
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// New builds a gateway over the given watchdog addresses.
+func New(backends ...string) (*Gateway, error) {
+	if len(backends) == 0 {
+		return nil, ErrNoBackends
+	}
+	return &Gateway{
+		backends: backends,
+		client:   &http.Client{Timeout: 5 * time.Minute},
+	}, nil
+}
+
+// Invoke forwards one invocation, trying each backend at most once
+// starting from the round-robin cursor.
+func (g *Gateway) Invoke(workflow string) ([]byte, error) {
+	start := g.next.Add(1)
+	var lastErr error
+	for i := 0; i < len(g.backends); i++ {
+		backend := g.backends[(start+uint64(i))%uint64(len(g.backends))]
+		url := fmt.Sprintf("http://%s/invoke/%s", backend, workflow)
+		resp, err := g.client.Post(url, "application/json", nil)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			return body, fmt.Errorf("gateway: backend %s: status %d", backend, resp.StatusCode)
+		}
+		return body, nil
+	}
+	return nil, fmt.Errorf("%w: last error: %v", ErrAllDown, lastErr)
+}
+
+// Start exposes the gateway itself over HTTP: POST /invoke/{workflow}.
+func (g *Gateway) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	g.ln = ln
+	mux := http.NewServeMux()
+	mux.HandleFunc("/invoke/", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		name := r.URL.Path[len("/invoke/"):]
+		body, err := g.Invoke(name)
+		if err != nil && body == nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err != nil {
+			w.WriteHeader(http.StatusInternalServerError)
+		}
+		w.Write(body)
+	})
+	g.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go g.srv.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// Stop shuts the gateway's HTTP server down.
+func (g *Gateway) Stop() error {
+	if g.srv == nil {
+		return nil
+	}
+	return g.srv.Close()
+}
+
+// Backends returns the configured backend list.
+func (g *Gateway) Backends() []string {
+	out := make([]string, len(g.backends))
+	copy(out, g.backends)
+	return out
+}

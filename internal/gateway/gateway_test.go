@@ -1,0 +1,162 @@
+package gateway
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+
+	"alloystack/internal/asstd"
+	"alloystack/internal/dag"
+	"alloystack/internal/visor"
+)
+
+// startBackend spins one visor+watchdog with a trivial workflow.
+func startBackend(t *testing.T) *visor.Watchdog {
+	t.Helper()
+	r := visor.NewRegistry()
+	r.RegisterNative("noop", func(env *asstd.Env, ctx visor.FuncContext) error {
+		_, err := asstd.Now(env)
+		return err
+	})
+	v := visor.New(r)
+	if err := v.RegisterWorkflow(&dag.Workflow{
+		Name:      "noop",
+		Functions: []dag.FuncSpec{{Name: "noop"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	wd := visor.NewWatchdog(v)
+	wd.OptionsFor = func(string) visor.RunOptions {
+		o := visor.DefaultRunOptions()
+		o.CostScale = 0
+		o.BufHeapSize = 1 << 20
+		return o
+	}
+	if _, err := wd.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { wd.Stop() })
+	return wd
+}
+
+func TestGatewayRequiresBackends(t *testing.T) {
+	if _, err := New(); !errors.Is(err, ErrNoBackends) {
+		t.Fatalf("err = %v, want ErrNoBackends", err)
+	}
+}
+
+func TestInvokeThroughGateway(t *testing.T) {
+	b := startBackend(t)
+	g, err := New(b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := g.Invoke("noop")
+	if err != nil {
+		t.Fatalf("Invoke: %v", err)
+	}
+	var resp visor.InvokeResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Workflow != "noop" || resp.Error != "" {
+		t.Fatalf("response = %+v", resp)
+	}
+}
+
+func TestRoundRobinAcrossBackends(t *testing.T) {
+	b1 := startBackend(t)
+	b2 := startBackend(t)
+	g, err := New(b1.Addr(), b2.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := g.Invoke("noop"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b1.Completed() == 0 || b2.Completed() == 0 {
+		t.Fatalf("load not balanced: %d / %d", b1.Completed(), b2.Completed())
+	}
+	if b1.Completed()+b2.Completed() != 6 {
+		t.Fatalf("total = %d", b1.Completed()+b2.Completed())
+	}
+}
+
+func TestFailoverToHealthyBackend(t *testing.T) {
+	dead := "127.0.0.1:1" // nothing listens here
+	b := startBackend(t)
+	g, err := New(dead, b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := g.Invoke("noop"); err != nil {
+			t.Fatalf("failover invoke %d: %v", i, err)
+		}
+	}
+	if b.Completed() != 4 {
+		t.Fatalf("healthy backend completed %d", b.Completed())
+	}
+}
+
+func TestAllBackendsDown(t *testing.T) {
+	g, err := New("127.0.0.1:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Invoke("noop"); !errors.Is(err, ErrAllDown) {
+		t.Fatalf("err = %v, want ErrAllDown", err)
+	}
+}
+
+func TestGatewayHTTPFrontEnd(t *testing.T) {
+	b := startBackend(t)
+	g, err := New(b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := g.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Stop()
+
+	resp, err := http.Post("http://"+addr+"/invoke/noop", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+
+	// Backend error surfaces as non-200 with the backend body.
+	resp2, err := http.Post("http://"+addr+"/invoke/ghost", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode == http.StatusOK {
+		t.Fatal("ghost invocation reported OK")
+	}
+}
+
+func TestBackendsAccessor(t *testing.T) {
+	g, err := New("a:1", "b:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := g.Backends()
+	if len(got) != 2 || got[0] != "a:1" {
+		t.Fatalf("Backends = %v", got)
+	}
+	got[0] = "mutated"
+	if g.Backends()[0] != "a:1" {
+		t.Fatal("Backends leaked internal slice")
+	}
+	_ = strings.TrimSpace("")
+}

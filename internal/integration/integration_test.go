@@ -1,0 +1,226 @@
+// Package integration exercises the full deployment stack end to end:
+// HTTP gateway → watchdog → visor → WFD → LibOS modules → substrates,
+// with the real benchmark workloads. These tests are the closest thing
+// to the paper's Figure 4 execution walk-through run as a single
+// assertion.
+package integration
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"alloystack/internal/dag"
+	"alloystack/internal/gateway"
+	"alloystack/internal/visor"
+	"alloystack/internal/workloads"
+)
+
+// startNode spins up one full AlloyStack node with the benchmark
+// registry and standard workflows.
+func startNode(t *testing.T, out *syncBuffer) *visor.Watchdog {
+	t.Helper()
+	reg := visor.NewRegistry()
+	workloads.RegisterAll(reg)
+	v := visor.New(reg)
+	for _, w := range []*dag.Workflow{
+		workloads.NoOps(),
+		workloads.Pipe(256*1024, "native"),
+		workloads.FunctionChain(5, 64*1024, "native"),
+		workloads.WordCount(3, "native"),
+		workloads.ParallelSorting(3, "native"),
+		renamed(workloads.WordCount(2, "c"), "word-count-c"),
+	} {
+		if err := v.RegisterWorkflow(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wd := visor.NewWatchdog(v)
+	wd.OptionsFor = func(name string) visor.RunOptions {
+		ro := visor.DefaultRunOptions()
+		ro.CostScale = 0.01
+		ro.BufHeapSize = 128 << 20
+		if out != nil {
+			ro.Stdout = out
+		}
+		switch {
+		case strings.HasPrefix(name, "word-count"):
+			img, err := workloads.BuildTextImage(256*1024, false)
+			if err == nil {
+				ro.DiskImage = img
+			}
+		case name == "parallel-sorting":
+			img, err := workloads.BuildBinImage(256*1024, false)
+			if err == nil {
+				ro.DiskImage = img
+			}
+		}
+		return ro
+	}
+	if _, err := wd.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { wd.Stop() })
+	return wd
+}
+
+func renamed(w *dag.Workflow, name string) *dag.Workflow {
+	w.Name = name
+	return w
+}
+
+// syncBuffer is a concurrency-safe output sink.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func invoke(t *testing.T, addr, workflow string) visor.InvokeResponse {
+	t.Helper()
+	resp, err := http.Post(fmt.Sprintf("http://%s/invoke/%s", addr, workflow), "application/json", nil)
+	if err != nil {
+		t.Fatalf("invoke %s: %v", workflow, err)
+	}
+	defer resp.Body.Close()
+	var ir visor.InvokeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("invoke %s: status %d (%s)", workflow, resp.StatusCode, ir.Error)
+	}
+	return ir
+}
+
+func TestEveryWorkflowThroughHTTP(t *testing.T) {
+	out := &syncBuffer{}
+	wd := startNode(t, out)
+	for _, name := range []string{
+		"no-ops", "pipe", "function-chain", "word-count", "parallel-sorting",
+	} {
+		ir := invoke(t, wd.Addr(), name)
+		if ir.E2EMillis <= 0 {
+			t.Fatalf("%s: no latency reported (%+v)", name, ir)
+		}
+	}
+	if !strings.Contains(out.String(), "words=") {
+		t.Fatalf("wordcount output missing: %q", out.String())
+	}
+	if !strings.Contains(out.String(), "sorted=") {
+		t.Fatalf("sorting output missing: %q", out.String())
+	}
+}
+
+func TestGuestTierThroughHTTP(t *testing.T) {
+	wd := startNode(t, nil)
+	ir := invoke(t, wd.Addr(), "word-count-c")
+	if ir.E2EMillis <= 0 {
+		t.Fatalf("guest-tier run: %+v", ir)
+	}
+}
+
+func TestGatewayAcrossTwoNodes(t *testing.T) {
+	n1 := startNode(t, nil)
+	n2 := startNode(t, nil)
+	g, err := gateway.New(n1.Addr(), n2.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 10
+	for i := 0; i < total; i++ {
+		body, err := g.Invoke("pipe")
+		if err != nil {
+			t.Fatalf("gateway invoke %d: %v", i, err)
+		}
+		var ir visor.InvokeResponse
+		if err := json.Unmarshal(body, &ir); err != nil {
+			t.Fatal(err)
+		}
+		if ir.Error != "" {
+			t.Fatalf("invocation error: %s", ir.Error)
+		}
+	}
+	if n1.Completed() == 0 || n2.Completed() == 0 {
+		t.Fatalf("load not spread: %d/%d", n1.Completed(), n2.Completed())
+	}
+	if n1.Completed()+n2.Completed() != total {
+		t.Fatalf("lost invocations: %d + %d != %d", n1.Completed(), n2.Completed(), total)
+	}
+}
+
+func TestConcurrentMixedWorkloads(t *testing.T) {
+	wd := startNode(t, nil)
+	names := []string{"no-ops", "pipe", "function-chain", "word-count", "parallel-sorting"}
+	var wg sync.WaitGroup
+	errs := make(chan error, 20)
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := names[i%len(names)]
+			resp, err := http.Post(fmt.Sprintf("http://%s/invoke/%s", wd.Addr(), name),
+				"application/json", nil)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				var ir visor.InvokeResponse
+				json.NewDecoder(resp.Body).Decode(&ir)
+				errs <- fmt.Errorf("%s: status %d: %s", name, resp.StatusCode, ir.Error)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if wd.Completed() != 20 {
+		t.Fatalf("completed = %d", wd.Completed())
+	}
+}
+
+// TestWorkflowIsolationUnderConcurrency: concurrent WordCount runs must
+// not cross-contaminate slots or filesystems (each invocation gets its
+// own WFD).
+func TestWorkflowIsolationUnderConcurrency(t *testing.T) {
+	out := &syncBuffer{}
+	wd := startNode(t, out)
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			invoke(t, wd.Addr(), "word-count")
+		}()
+	}
+	wg.Wait()
+	// All six runs used identical inputs: all six outputs are identical.
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("outputs = %d lines: %q", len(lines), out.String())
+	}
+	for _, l := range lines[1:] {
+		if l != lines[0] {
+			t.Fatalf("cross-run interference: %q vs %q", l, lines[0])
+		}
+	}
+}

@@ -1,0 +1,329 @@
+// Package kvstore is a Redis-like in-memory key-value store speaking a
+// RESP-style length-prefixed protocol over TCP. It stands in for the
+// external storage services (Redis, S3) that the OpenFaaS and Faasm
+// baselines use to move intermediate data between functions — the
+// "third-party forwarding" transfer path whose copies and round trips the
+// paper's reference passing eliminates.
+//
+// The protocol is binary-safe and deliberately minimal:
+//
+//	*<argc>\r\n then argc of: $<len>\r\n<bytes>\r\n
+//
+// Commands: SET key value → +OK, GET key → $len payload or $-1,
+// DEL key → :n, PING → +PONG.
+package kvstore
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"sync"
+)
+
+// Errors returned by the client.
+var (
+	ErrNotFound = errors.New("kvstore: key not found")
+	ErrProtocol = errors.New("kvstore: protocol error")
+	ErrServer   = errors.New("kvstore: server error")
+)
+
+// Server is the store plus its TCP acceptor.
+type Server struct {
+	mu   sync.RWMutex
+	data map[string][]byte
+
+	ln     net.Listener
+	wg     sync.WaitGroup
+	closed chan struct{}
+
+	gets sync.Map // metrics: per-command counters (string -> *int64)
+}
+
+// NewServer starts a store listening on addr ("127.0.0.1:0" for an
+// ephemeral port).
+func NewServer(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		data:   make(map[string][]byte),
+		ln:     ln,
+		closed: make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the acceptor and waits for connection handlers.
+func (s *Server) Close() error {
+	select {
+	case <-s.closed:
+		return nil
+	default:
+	}
+	close(s.closed)
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.serve(conn)
+		}()
+	}
+}
+
+func (s *Server) serve(conn net.Conn) {
+	r := bufio.NewReaderSize(conn, 64*1024)
+	w := bufio.NewWriterSize(conn, 64*1024)
+	for {
+		args, err := readCommand(r)
+		if err != nil {
+			return
+		}
+		if len(args) == 0 {
+			continue
+		}
+		switch string(args[0]) {
+		case "SET":
+			if len(args) != 3 {
+				writeError(w, "SET wants 2 arguments")
+				break
+			}
+			val := make([]byte, len(args[2]))
+			copy(val, args[2])
+			s.mu.Lock()
+			s.data[string(args[1])] = val
+			s.mu.Unlock()
+			w.WriteString("+OK\r\n")
+		case "GET":
+			if len(args) != 2 {
+				writeError(w, "GET wants 1 argument")
+				break
+			}
+			s.mu.RLock()
+			val, ok := s.data[string(args[1])]
+			s.mu.RUnlock()
+			if !ok {
+				w.WriteString("$-1\r\n")
+				break
+			}
+			fmt.Fprintf(w, "$%d\r\n", len(val))
+			w.Write(val)
+			w.WriteString("\r\n")
+		case "DEL":
+			if len(args) != 2 {
+				writeError(w, "DEL wants 1 argument")
+				break
+			}
+			s.mu.Lock()
+			_, ok := s.data[string(args[1])]
+			delete(s.data, string(args[1]))
+			s.mu.Unlock()
+			n := 0
+			if ok {
+				n = 1
+			}
+			fmt.Fprintf(w, ":%d\r\n", n)
+		case "PING":
+			w.WriteString("+PONG\r\n")
+		default:
+			writeError(w, "unknown command "+string(args[0]))
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func writeError(w *bufio.Writer, msg string) {
+	w.WriteString("-ERR " + msg + "\r\n")
+}
+
+// readCommand parses one *argc/$len command from the wire.
+func readCommand(r *bufio.Reader) ([][]byte, error) {
+	line, err := readLine(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(line) < 2 || line[0] != '*' {
+		return nil, ErrProtocol
+	}
+	argc, err := strconv.Atoi(string(line[1:]))
+	if err != nil || argc < 0 || argc > 64 {
+		return nil, ErrProtocol
+	}
+	args := make([][]byte, argc)
+	for i := 0; i < argc; i++ {
+		hdr, err := readLine(r)
+		if err != nil {
+			return nil, err
+		}
+		if len(hdr) < 2 || hdr[0] != '$' {
+			return nil, ErrProtocol
+		}
+		n, err := strconv.Atoi(string(hdr[1:]))
+		if err != nil || n < 0 {
+			return nil, ErrProtocol
+		}
+		buf := make([]byte, n+2)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		if buf[n] != '\r' || buf[n+1] != '\n' {
+			return nil, ErrProtocol
+		}
+		args[i] = buf[:n]
+	}
+	return args, nil
+}
+
+func readLine(r *bufio.Reader) ([]byte, error) {
+	line, err := r.ReadBytes('\n')
+	if err != nil {
+		return nil, err
+	}
+	if len(line) < 2 || line[len(line)-2] != '\r' {
+		return nil, ErrProtocol
+	}
+	return line[:len(line)-2], nil
+}
+
+// Keys reports the number of keys stored (tests/metrics).
+func (s *Server) Keys() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}
+
+// Client is a connection to a Server. Safe for concurrent use; commands
+// are serialised on the single connection like a real Redis client.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to the store at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		conn: conn,
+		r:    bufio.NewReaderSize(conn, 64*1024),
+		w:    bufio.NewWriterSize(conn, 64*1024),
+	}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) send(args ...[]byte) error {
+	fmt.Fprintf(c.w, "*%d\r\n", len(args))
+	for _, a := range args {
+		fmt.Fprintf(c.w, "$%d\r\n", len(a))
+		c.w.Write(a)
+		c.w.WriteString("\r\n")
+	}
+	return c.w.Flush()
+}
+
+// Set stores value under key.
+func (c *Client) Set(key string, value []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.send([]byte("SET"), []byte(key), value); err != nil {
+		return err
+	}
+	line, err := readLine(c.r)
+	if err != nil {
+		return err
+	}
+	if len(line) == 0 || line[0] != '+' {
+		return fmt.Errorf("%w: %s", ErrServer, line)
+	}
+	return nil
+}
+
+// Get fetches the value under key.
+func (c *Client) Get(key string) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.send([]byte("GET"), []byte(key)); err != nil {
+		return nil, err
+	}
+	line, err := readLine(c.r)
+	if err != nil {
+		return nil, err
+	}
+	if len(line) == 0 || line[0] != '$' {
+		return nil, fmt.Errorf("%w: %s", ErrServer, line)
+	}
+	n, err := strconv.Atoi(string(line[1:]))
+	if err != nil {
+		return nil, ErrProtocol
+	}
+	if n == -1 {
+		return nil, ErrNotFound
+	}
+	buf := make([]byte, n+2)
+	if _, err := io.ReadFull(c.r, buf); err != nil {
+		return nil, err
+	}
+	return buf[:n], nil
+}
+
+// Del removes key, reporting whether it existed.
+func (c *Client) Del(key string) (bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.send([]byte("DEL"), []byte(key)); err != nil {
+		return false, err
+	}
+	line, err := readLine(c.r)
+	if err != nil {
+		return false, err
+	}
+	if len(line) == 0 || line[0] != ':' {
+		return false, fmt.Errorf("%w: %s", ErrServer, line)
+	}
+	return string(line[1:]) == "1", nil
+}
+
+// Ping round-trips a health check.
+func (c *Client) Ping() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.send([]byte("PING")); err != nil {
+		return err
+	}
+	line, err := readLine(c.r)
+	if err != nil {
+		return err
+	}
+	if string(line) != "+PONG" {
+		return fmt.Errorf("%w: %s", ErrServer, line)
+	}
+	return nil
+}

@@ -1,0 +1,353 @@
+// Package loader implements AlloyStack's on-demand module loading, the
+// mechanism behind the paper's cold-start result (§4). The real system
+// loads as-libos modules into a WFD with the dynamic linker's dlmopen(),
+// each WFD getting its own link namespace; here a Registry plays the role
+// of the .so files on disk and a Namespace plays the role of one WFD's
+// link map.
+//
+// The paths match Figure 7 exactly:
+//
+//   - slow path: a function calls a LibOS entry that is not yet resolved;
+//     the namespace finds the owning module, loads its dependency closure
+//     (running real initialisers and paying the calibrated per-module
+//     relocation cost), and caches the entry address.
+//   - fast path: subsequent calls — by the same function or any later
+//     function of the same WFD — resolve from the entry cache without
+//     loading anything.
+//
+// The per-module Cost values are the simulated dlmopen/relocation work; a
+// global CostScale lets unit tests run with costs disabled while
+// benchmarks reproduce the paper's load-all total (~88 ms).
+package loader
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Symbol names one entry point exported by a module, e.g. "fdtab.open".
+type Symbol string
+
+// Errors returned by the loader.
+var (
+	ErrUnknownModule = errors.New("loader: unknown module")
+	ErrUnknownSymbol = errors.New("loader: unresolved symbol")
+	ErrDupModule     = errors.New("loader: module already registered")
+	ErrDupSymbol     = errors.New("loader: symbol exported twice")
+	ErrDepCycle      = errors.New("loader: dependency cycle")
+	ErrNamespaceDead = errors.New("loader: namespace shut down")
+)
+
+// Instance is a loaded module inside one namespace.
+type Instance interface {
+	// Entries returns the module's symbol table. Values are callables
+	// whose concrete signatures the as-std layer knows.
+	Entries() map[Symbol]any
+	// Shutdown releases module resources at WFD teardown.
+	Shutdown() error
+}
+
+// InitFunc constructs a module instance. env is the namespace-scoped
+// environment handed to every module (the WFD's LibOS state).
+type InitFunc func(env any) (Instance, error)
+
+// ModuleInfo describes a loadable module: its name, the symbols it
+// exports (known without loading, as ELF dynsym tables are), its
+// dependencies, its constructor, and its calibrated load cost.
+type ModuleInfo struct {
+	Name    string
+	Exports []Symbol
+	Deps    []string
+	Init    InitFunc
+	// Cost models the dlmopen + relocation + init time of the real
+	// module, scaled by the namespace's CostScale at load time.
+	Cost time.Duration
+}
+
+// Registry is the set of known modules — the on-disk .so collection.
+type Registry struct {
+	mu       sync.RWMutex
+	mods     map[string]*ModuleInfo
+	symOwner map[Symbol]string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		mods:     make(map[string]*ModuleInfo),
+		symOwner: make(map[Symbol]string),
+	}
+}
+
+// Register adds a module. Its dependencies need not be registered yet,
+// but must be by load time.
+func (r *Registry) Register(info ModuleInfo) error {
+	if info.Init == nil {
+		return fmt.Errorf("loader: module %q has no init", info.Name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.mods[info.Name]; ok {
+		return fmt.Errorf("%w: %s", ErrDupModule, info.Name)
+	}
+	for _, s := range info.Exports {
+		if owner, ok := r.symOwner[s]; ok {
+			return fmt.Errorf("%w: %s (by %s and %s)", ErrDupSymbol, s, owner, info.Name)
+		}
+	}
+	mi := info
+	r.mods[info.Name] = &mi
+	for _, s := range info.Exports {
+		r.symOwner[s] = info.Name
+	}
+	return nil
+}
+
+// MustRegister is Register, panicking on error; for package-level tables.
+func (r *Registry) MustRegister(info ModuleInfo) {
+	if err := r.Register(info); err != nil {
+		panic(err)
+	}
+}
+
+// Owner reports which module exports sym.
+func (r *Registry) Owner(sym Symbol) (string, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	name, ok := r.symOwner[sym]
+	return name, ok
+}
+
+// Modules lists registered module names, sorted.
+func (r *Registry) Modules() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.mods))
+	for n := range r.mods {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TotalCost sums every registered module's load cost — the "load-all"
+// upper bound of Figure 10.
+func (r *Registry) TotalCost() time.Duration {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var total time.Duration
+	for _, m := range r.mods {
+		total += m.Cost
+	}
+	return total
+}
+
+func (r *Registry) info(name string) (*ModuleInfo, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m, ok := r.mods[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownModule, name)
+	}
+	return m, nil
+}
+
+// LoadEvent records one module load for tracing (Table 1, Fig 14).
+type LoadEvent struct {
+	Module   string
+	Duration time.Duration
+	// Trigger is the symbol whose resolution caused the load, or "" for
+	// dependency-closure and load-all loads.
+	Trigger Symbol
+}
+
+// Namespace is one WFD's link namespace: the set of loaded module
+// instances and the resolved entry cache.
+type Namespace struct {
+	reg *Registry
+	env any
+
+	// CostScale multiplies module Cost at load time: 1.0 reproduces the
+	// calibrated costs, 0 disables simulated cost entirely (unit tests).
+	CostScale float64
+
+	mu      sync.Mutex
+	loaded  map[string]Instance
+	entries map[Symbol]any
+	events  []LoadEvent
+	misses  uint64
+	hits    uint64
+	dead    bool
+}
+
+// NewNamespace creates a namespace over reg. env is passed to every
+// module initialiser (the WFD LibOS state).
+func NewNamespace(reg *Registry, env any) *Namespace {
+	return &Namespace{
+		reg:       reg,
+		env:       env,
+		CostScale: 1.0,
+		loaded:    make(map[string]Instance),
+		entries:   make(map[Symbol]any),
+	}
+}
+
+// FindHostcall resolves sym, loading its owning module (and that module's
+// dependency closure) on first use. This is the find_hostcall() interface
+// as-visor exposes to as-std in the paper.
+func (ns *Namespace) FindHostcall(sym Symbol) (any, error) {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	if ns.dead {
+		return nil, ErrNamespaceDead
+	}
+	if fn, ok := ns.entries[sym]; ok {
+		ns.hits++
+		return fn, nil
+	}
+	ns.misses++
+	owner, ok := ns.reg.Owner(sym)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownSymbol, sym)
+	}
+	if err := ns.loadLocked(owner, sym, make(map[string]bool)); err != nil {
+		return nil, err
+	}
+	fn, ok := ns.entries[sym]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s (module %s loaded but did not export it)",
+			ErrUnknownSymbol, sym, owner)
+	}
+	return fn, nil
+}
+
+// Resolved reports whether sym is already in the entry cache, without
+// triggering a load — the as-std fast-path check.
+func (ns *Namespace) Resolved(sym Symbol) bool {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	_, ok := ns.entries[sym]
+	return ok
+}
+
+// loadLocked loads name and its dependency closure. Caller holds ns.mu.
+func (ns *Namespace) loadLocked(name string, trigger Symbol, visiting map[string]bool) error {
+	if _, ok := ns.loaded[name]; ok {
+		return nil
+	}
+	if visiting[name] {
+		return fmt.Errorf("%w: involving %s", ErrDepCycle, name)
+	}
+	visiting[name] = true
+	info, err := ns.reg.info(name)
+	if err != nil {
+		return err
+	}
+	for _, dep := range info.Deps {
+		if err := ns.loadLocked(dep, "", visiting); err != nil {
+			return err
+		}
+	}
+	start := time.Now()
+	if ns.CostScale > 0 && info.Cost > 0 {
+		time.Sleep(time.Duration(float64(info.Cost) * ns.CostScale))
+	}
+	inst, err := info.Init(ns.env)
+	if err != nil {
+		return fmt.Errorf("loader: init %s: %w", name, err)
+	}
+	ns.loaded[name] = inst
+	for s, fn := range inst.Entries() {
+		ns.entries[s] = fn
+	}
+	ns.events = append(ns.events, LoadEvent{
+		Module:   name,
+		Duration: time.Since(start),
+		Trigger:  trigger,
+	})
+	return nil
+}
+
+// LoadAll eagerly loads every registered module — the AS-load-all
+// configuration of Figure 10 and the "on-demand disabled" arm of the
+// Figure 14 ablation.
+func (ns *Namespace) LoadAll() error {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	if ns.dead {
+		return ErrNamespaceDead
+	}
+	for _, name := range ns.reg.Modules() {
+		if err := ns.loadLocked(name, "", make(map[string]bool)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load eagerly loads one named module and its dependency closure.
+func (ns *Namespace) Load(name string) error {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	if ns.dead {
+		return ErrNamespaceDead
+	}
+	return ns.loadLocked(name, "", make(map[string]bool))
+}
+
+// LoadedModules lists loaded module names in load order.
+func (ns *Namespace) LoadedModules() []string {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	out := make([]string, len(ns.events))
+	for i, e := range ns.events {
+		out[i] = e.Module
+	}
+	return out
+}
+
+// Events returns a copy of the load trace.
+func (ns *Namespace) Events() []LoadEvent {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	out := make([]LoadEvent, len(ns.events))
+	copy(out, ns.events)
+	return out
+}
+
+// Stats reports (fast-path hits, slow-path misses).
+func (ns *Namespace) Stats() (hits, misses uint64) {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	return ns.hits, ns.misses
+}
+
+// Shutdown tears down every loaded module in reverse load order, as the
+// visor does when destroying a WFD.
+func (ns *Namespace) Shutdown() error {
+	ns.mu.Lock()
+	if ns.dead {
+		ns.mu.Unlock()
+		return nil
+	}
+	ns.dead = true
+	events := ns.events
+	loaded := ns.loaded
+	ns.entries = make(map[Symbol]any)
+	ns.mu.Unlock()
+
+	var firstErr error
+	for i := len(events) - 1; i >= 0; i-- {
+		inst := loaded[events[i].Module]
+		if inst == nil {
+			continue
+		}
+		if err := inst.Shutdown(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

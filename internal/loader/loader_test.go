@@ -1,0 +1,421 @@
+package loader
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testModule is a minimal Instance recording lifecycle events.
+type testModule struct {
+	name    string
+	entries map[Symbol]any
+	log     *eventLog
+}
+
+type eventLog struct {
+	mu     sync.Mutex
+	inits  []string
+	downs  []string
+	failed map[string]bool
+}
+
+func newLog() *eventLog { return &eventLog{failed: make(map[string]bool)} }
+
+func (l *eventLog) initOrder() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]string(nil), l.inits...)
+}
+
+func (l *eventLog) downOrder() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]string(nil), l.downs...)
+}
+
+func (m *testModule) Entries() map[Symbol]any { return m.entries }
+func (m *testModule) Shutdown() error {
+	m.log.mu.Lock()
+	defer m.log.mu.Unlock()
+	m.log.downs = append(m.log.downs, m.name)
+	return nil
+}
+
+// reg builds a registry with a small module graph:
+//
+//	time (no deps), mm (no deps), fdtab -> mm, fatfs -> fdtab,mm, socket -> mm
+func makeRegistry(t *testing.T, log *eventLog) *Registry {
+	t.Helper()
+	r := NewRegistry()
+	add := func(name string, deps []string, syms ...Symbol) {
+		entries := make(map[Symbol]any)
+		for _, s := range syms {
+			s := s
+			entries[s] = func() string { return string(s) }
+		}
+		err := r.Register(ModuleInfo{
+			Name:    name,
+			Exports: syms,
+			Deps:    deps,
+			Init: func(env any) (Instance, error) {
+				if log.failed[name] {
+					return nil, fmt.Errorf("injected init failure for %s", name)
+				}
+				log.mu.Lock()
+				log.inits = append(log.inits, name)
+				log.mu.Unlock()
+				return &testModule{name: name, entries: entries, log: log}, nil
+			},
+		})
+		if err != nil {
+			t.Fatalf("register %s: %v", name, err)
+		}
+	}
+	add("time", nil, "time.gettimeofday")
+	add("mm", nil, "mm.alloc_buffer", "mm.acquire_buffer", "mm.mmap")
+	add("fdtab", []string{"mm"}, "fdtab.open", "fdtab.close")
+	add("fatfs", []string{"fdtab", "mm"}, "fatfs.open", "fatfs.write")
+	add("socket", []string{"mm"}, "socket.bind", "socket.connect")
+	return r
+}
+
+func TestSlowPathLoadsOwningModule(t *testing.T) {
+	log := newLog()
+	ns := NewNamespace(makeRegistry(t, log), nil)
+	ns.CostScale = 0
+
+	fn, err := ns.FindHostcall("time.gettimeofday")
+	if err != nil {
+		t.Fatalf("FindHostcall: %v", err)
+	}
+	if got := fn.(func() string)(); got != "time.gettimeofday" {
+		t.Fatalf("resolved wrong entry: %s", got)
+	}
+	if order := log.initOrder(); len(order) != 1 || order[0] != "time" {
+		t.Fatalf("init order = %v, want [time]", order)
+	}
+	if hits, misses := ns.Stats(); hits != 0 || misses != 1 {
+		t.Fatalf("stats = %d hits %d misses, want 0/1", hits, misses)
+	}
+}
+
+func TestFastPathAfterFirstResolution(t *testing.T) {
+	log := newLog()
+	ns := NewNamespace(makeRegistry(t, log), nil)
+	ns.CostScale = 0
+	if _, err := ns.FindHostcall("fdtab.open"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := ns.FindHostcall("fdtab.open"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hits, misses := ns.Stats(); hits != 10 || misses != 1 {
+		t.Fatalf("stats = %d hits %d misses, want 10/1", hits, misses)
+	}
+	if inits := log.initOrder(); len(inits) != 2 { // mm + fdtab
+		t.Fatalf("modules loaded = %v, want exactly [mm fdtab]", inits)
+	}
+}
+
+func TestDependencyClosureLoadsInOrder(t *testing.T) {
+	log := newLog()
+	ns := NewNamespace(makeRegistry(t, log), nil)
+	ns.CostScale = 0
+	if _, err := ns.FindHostcall("fatfs.open"); err != nil {
+		t.Fatal(err)
+	}
+	order := log.initOrder()
+	if len(order) != 3 {
+		t.Fatalf("init order = %v, want 3 modules", order)
+	}
+	pos := map[string]int{}
+	for i, n := range order {
+		pos[n] = i
+	}
+	if pos["mm"] > pos["fdtab"] || pos["fdtab"] > pos["fatfs"] {
+		t.Fatalf("dependencies loaded out of order: %v", order)
+	}
+}
+
+func TestModulesSharedAcrossFunctions(t *testing.T) {
+	// The paper's Figure 7(c): Function B reuses modules loaded by A.
+	log := newLog()
+	ns := NewNamespace(makeRegistry(t, log), nil)
+	ns.CostScale = 0
+	// "Function A" resolves open().
+	if _, err := ns.FindHostcall("fdtab.open"); err != nil {
+		t.Fatal(err)
+	}
+	initsAfterA := len(log.initOrder())
+	// "Function B" resolves open() on the same namespace.
+	if _, err := ns.FindHostcall("fdtab.open"); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(log.initOrder()); got != initsAfterA {
+		t.Fatalf("second function triggered %d extra loads", got-initsAfterA)
+	}
+}
+
+func TestUnknownSymbol(t *testing.T) {
+	ns := NewNamespace(makeRegistry(t, newLog()), nil)
+	ns.CostScale = 0
+	if _, err := ns.FindHostcall("nosuch.call"); !errors.Is(err, ErrUnknownSymbol) {
+		t.Fatalf("unknown symbol: err = %v, want ErrUnknownSymbol", err)
+	}
+}
+
+func TestInitFailurePropagates(t *testing.T) {
+	log := newLog()
+	log.failed["fdtab"] = true
+	ns := NewNamespace(makeRegistry(t, log), nil)
+	ns.CostScale = 0
+	if _, err := ns.FindHostcall("fdtab.open"); err == nil {
+		t.Fatal("init failure did not propagate")
+	}
+	// The dependency (mm) loaded, the failed module did not poison it.
+	log.failed["fdtab"] = false
+	if _, err := ns.FindHostcall("fdtab.open"); err != nil {
+		t.Fatalf("retry after transient failure: %v", err)
+	}
+}
+
+func TestLoadAll(t *testing.T) {
+	log := newLog()
+	ns := NewNamespace(makeRegistry(t, log), nil)
+	ns.CostScale = 0
+	if err := ns.LoadAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(log.initOrder()); got != 5 {
+		t.Fatalf("LoadAll loaded %d modules, want 5", got)
+	}
+	// Everything resolves as a fast-path hit now.
+	if _, err := ns.FindHostcall("socket.bind"); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := ns.Stats(); hits != 1 || misses != 0 {
+		t.Fatalf("post-LoadAll stats = %d/%d, want 1 hit 0 misses", hits, misses)
+	}
+}
+
+func TestLoadCostApplied(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegister(ModuleInfo{
+		Name:    "slow",
+		Exports: []Symbol{"slow.op"},
+		Cost:    20 * time.Millisecond,
+		Init: func(env any) (Instance, error) {
+			return &testModule{name: "slow", entries: map[Symbol]any{"slow.op": func() {}}, log: newLog()}, nil
+		},
+	})
+	ns := NewNamespace(r, nil)
+	start := time.Now()
+	if _, err := ns.FindHostcall("slow.op"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("load took %v, want >= 20ms simulated cost", d)
+	}
+	// Fast path pays nothing.
+	start = time.Now()
+	if _, err := ns.FindHostcall("slow.op"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 5*time.Millisecond {
+		t.Fatalf("fast path took %v", d)
+	}
+	events := ns.Events()
+	if len(events) != 1 || events[0].Module != "slow" || events[0].Trigger != "slow.op" {
+		t.Fatalf("events = %+v", events)
+	}
+}
+
+func TestCostScaleZeroDisablesCost(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegister(ModuleInfo{
+		Name:    "slow",
+		Exports: []Symbol{"slow.op"},
+		Cost:    200 * time.Millisecond,
+		Init: func(env any) (Instance, error) {
+			return &testModule{name: "slow", entries: map[Symbol]any{"slow.op": func() {}}, log: newLog()}, nil
+		},
+	})
+	ns := NewNamespace(r, nil)
+	ns.CostScale = 0
+	start := time.Now()
+	if _, err := ns.FindHostcall("slow.op"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 50*time.Millisecond {
+		t.Fatalf("CostScale=0 load took %v", d)
+	}
+}
+
+func TestNamespacesAreIsolated(t *testing.T) {
+	log := newLog()
+	reg := makeRegistry(t, log)
+	ns1 := NewNamespace(reg, nil)
+	ns1.CostScale = 0
+	ns2 := NewNamespace(reg, nil)
+	ns2.CostScale = 0
+	if _, err := ns1.FindHostcall("mm.alloc_buffer"); err != nil {
+		t.Fatal(err)
+	}
+	// ns2 must not see ns1's entry cache.
+	if ns2.Resolved("mm.alloc_buffer") {
+		t.Fatal("entry cache leaked across namespaces")
+	}
+	if _, err := ns2.FindHostcall("mm.alloc_buffer"); err != nil {
+		t.Fatal(err)
+	}
+	// mm initialised twice: once per namespace (separate LibOS instances).
+	if got := len(log.initOrder()); got != 2 {
+		t.Fatalf("init count = %d, want 2 (one per namespace)", got)
+	}
+}
+
+func TestShutdownReverseOrder(t *testing.T) {
+	log := newLog()
+	ns := NewNamespace(makeRegistry(t, log), nil)
+	ns.CostScale = 0
+	if _, err := ns.FindHostcall("fatfs.open"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	inits := log.initOrder()
+	downs := log.downOrder()
+	if len(downs) != len(inits) {
+		t.Fatalf("shutdown count %d != init count %d", len(downs), len(inits))
+	}
+	for i := range inits {
+		if downs[i] != inits[len(inits)-1-i] {
+			t.Fatalf("shutdown order %v not reverse of init order %v", downs, inits)
+		}
+	}
+	if _, err := ns.FindHostcall("mm.mmap"); !errors.Is(err, ErrNamespaceDead) {
+		t.Fatalf("resolve after shutdown: err = %v, want ErrNamespaceDead", err)
+	}
+}
+
+func TestDuplicateRegistration(t *testing.T) {
+	r := NewRegistry()
+	info := ModuleInfo{
+		Name:    "m",
+		Exports: []Symbol{"m.f"},
+		Init:    func(env any) (Instance, error) { return nil, nil },
+	}
+	if err := r.Register(info); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(info); !errors.Is(err, ErrDupModule) {
+		t.Fatalf("duplicate module: err = %v", err)
+	}
+	other := ModuleInfo{
+		Name:    "m2",
+		Exports: []Symbol{"m.f"},
+		Init:    func(env any) (Instance, error) { return nil, nil },
+	}
+	if err := r.Register(other); !errors.Is(err, ErrDupSymbol) {
+		t.Fatalf("duplicate symbol: err = %v", err)
+	}
+}
+
+func TestDependencyCycleDetected(t *testing.T) {
+	r := NewRegistry()
+	mk := func(name string, deps ...string) ModuleInfo {
+		return ModuleInfo{
+			Name:    name,
+			Exports: []Symbol{Symbol(name + ".f")},
+			Deps:    deps,
+			Init: func(env any) (Instance, error) {
+				return &testModule{name: name, entries: map[Symbol]any{Symbol(name + ".f"): func() {}}, log: newLog()}, nil
+			},
+		}
+	}
+	r.MustRegister(mk("a", "b"))
+	r.MustRegister(mk("b", "a"))
+	ns := NewNamespace(r, nil)
+	ns.CostScale = 0
+	if _, err := ns.FindHostcall("a.f"); !errors.Is(err, ErrDepCycle) {
+		t.Fatalf("cycle: err = %v, want ErrDepCycle", err)
+	}
+}
+
+func TestConcurrentResolution(t *testing.T) {
+	log := newLog()
+	ns := NewNamespace(makeRegistry(t, log), nil)
+	ns.CostScale = 0
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	syms := []Symbol{"fdtab.open", "fatfs.write", "socket.bind", "mm.mmap", "time.gettimeofday"}
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := ns.FindHostcall(syms[i%len(syms)]); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// Each module initialised exactly once despite concurrency.
+	seen := map[string]int{}
+	for _, n := range log.initOrder() {
+		seen[n]++
+	}
+	for n, c := range seen {
+		if c != 1 {
+			t.Fatalf("module %s initialised %d times", n, c)
+		}
+	}
+}
+
+func TestTotalCost(t *testing.T) {
+	r := NewRegistry()
+	for i, c := range []time.Duration{time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond} {
+		name := fmt.Sprintf("m%d", i)
+		r.MustRegister(ModuleInfo{
+			Name:    name,
+			Exports: []Symbol{Symbol(name + ".f")},
+			Cost:    c,
+			Init:    func(env any) (Instance, error) { return &testModule{entries: map[Symbol]any{}}, nil },
+		})
+	}
+	if got := r.TotalCost(); got != 6*time.Millisecond {
+		t.Fatalf("TotalCost = %v, want 6ms", got)
+	}
+}
+
+func BenchmarkFastPathResolution(b *testing.B) {
+	r := NewRegistry()
+	r.MustRegister(ModuleInfo{
+		Name:    "m",
+		Exports: []Symbol{"m.f"},
+		Init: func(env any) (Instance, error) {
+			return &testModule{name: "m", entries: map[Symbol]any{"m.f": func() {}}, log: newLog()}, nil
+		},
+	})
+	ns := NewNamespace(r, nil)
+	ns.CostScale = 0
+	if _, err := ns.FindHostcall("m.f"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ns.FindHostcall("m.f"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

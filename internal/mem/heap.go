@@ -1,0 +1,322 @@
+package mem
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Heap is a first-fit free-list allocator over a region of a Space,
+// modelled on the linked_list_allocator the paper uses as the WFD's
+// default memory allocator: an address-ordered free list with block
+// splitting on allocation and coalescing on free. Allocating a fresh heap
+// per function makes crash recovery a matter of dropping the heap unit,
+// which is the paper's fault-isolation story inside a WFD.
+type Heap struct {
+	space *Space
+	base  uint64
+	size  uint64 // total mapped heap bytes across all chunks
+	limit uint64 // maximum the heap may grow to
+
+	mu        sync.Mutex
+	free      *freeBlock        // address-ordered singly linked free list
+	allocated map[uint64]uint64 // addr -> size, so Free needs no size
+	inUse     uint64
+	peak      uint64
+	allocs    uint64
+	frees     uint64
+	lastChunk uint64
+	fixed     bool   // NewHeapAt heaps cannot grow
+	chunks    []span // mapped chunk ranges, for invariant checking
+}
+
+// span is one mapped heap chunk.
+type span struct{ base, size uint64 }
+
+type freeBlock struct {
+	addr uint64
+	size uint64
+	next *freeBlock
+}
+
+// Errors returned by heap operations.
+var (
+	ErrHeapFull    = errors.New("mem: heap exhausted")
+	ErrBadFree     = errors.New("mem: free of unallocated address")
+	ErrDoubleAlloc = errors.New("mem: internal allocator corruption")
+)
+
+// minAlign is the minimum alignment of every allocation.
+const minAlign = 16
+
+// initialChunk is the first mapping of a growable heap. Heaps grow on
+// demand up to their limit, so a WFD's cold start does not pay for a
+// maximal heap it may never use — the same reason the paper's allocator
+// manages the heap in recoverable units.
+const initialChunk = 4 << 20
+
+// NewHeap builds an allocator allowed to grow to limit bytes, mapping a
+// small initial chunk now and further chunks on demand.
+func NewHeap(space *Space, limit uint64) (*Heap, error) {
+	limit = roundUp(limit)
+	first := uint64(initialChunk)
+	if first > limit {
+		first = limit
+	}
+	first = roundUp(first)
+	// +PageSize: an unmapped-by-the-heap guard page so a later chunk
+	// mapped right after can never coalesce with this one.
+	base, err := space.Map(first + PageSize)
+	if err != nil {
+		return nil, err
+	}
+	return &Heap{
+		space:     space,
+		base:      base,
+		size:      first,
+		limit:     limit,
+		lastChunk: first,
+		free:      &freeBlock{addr: base, size: first},
+		allocated: make(map[uint64]uint64),
+		chunks:    []span{{base, first}},
+	}, nil
+}
+
+// grow maps an additional chunk able to hold at least need bytes.
+// Chunks are separated by an unmapped guard page so free blocks from
+// different chunks can never coalesce into a span that crosses a
+// mapping boundary (buffers must stay contiguous for zero-copy views).
+// Caller holds h.mu.
+func (h *Heap) grow(need uint64) error {
+	if h.fixed {
+		return ErrHeapFull
+	}
+	chunk := h.lastChunk * 2
+	if chunk < roundUp(need)+PageSize {
+		chunk = roundUp(need) + PageSize
+	}
+	if remaining := h.limit - h.size; chunk > remaining {
+		chunk = remaining
+	}
+	if chunk < roundUp(need) {
+		return ErrHeapFull
+	}
+	base, err := h.space.Map(chunk + PageSize) // +guard page
+	if err != nil {
+		return err
+	}
+	h.size += chunk
+	h.lastChunk = chunk
+	h.chunks = append(h.chunks, span{base, chunk})
+	h.insertFree(base, chunk)
+	return nil
+}
+
+// NewHeapAt builds an allocator over an already-mapped region. Used when
+// the visor pre-partitions the WFD address space and binds keys first.
+func NewHeapAt(space *Space, base, size uint64) *Heap {
+	return &Heap{
+		space:     space,
+		base:      base,
+		size:      size,
+		limit:     size,
+		lastChunk: size,
+		fixed:     true,
+		free:      &freeBlock{addr: base, size: size},
+		allocated: make(map[uint64]uint64),
+	}
+}
+
+// alignUp rounds addr up to the next multiple of align (a power of two or
+// any positive value; we support both by using arithmetic rounding).
+func alignUp(addr, align uint64) uint64 {
+	if align == 0 {
+		align = 1
+	}
+	rem := addr % align
+	if rem == 0 {
+		return addr
+	}
+	return addr + align - rem
+}
+
+// Alloc returns the address of a size-byte block aligned to align.
+// First-fit: walks the address-ordered free list and carves the first
+// block that can satisfy the request, splitting front and back remainders
+// back onto the list.
+func (h *Heap) Alloc(size, align uint64) (uint64, error) {
+	if size == 0 {
+		return 0, errors.New("mem: zero-size allocation")
+	}
+	if align < minAlign {
+		align = minAlign
+	}
+	size = alignUp(size, minAlign)
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+
+retry:
+	var prev *freeBlock
+	for b := h.free; b != nil; prev, b = b, b.next {
+		start := alignUp(b.addr, align)
+		pad := start - b.addr
+		if b.size < pad+size {
+			continue
+		}
+		// Unlink b, then return the front pad and tail remainder.
+		if prev == nil {
+			h.free = b.next
+		} else {
+			prev.next = b.next
+		}
+		if pad > 0 {
+			h.insertFree(b.addr, pad)
+		}
+		if tail := b.size - pad - size; tail > 0 {
+			h.insertFree(start+size, tail)
+		}
+		if _, dup := h.allocated[start]; dup {
+			return 0, ErrDoubleAlloc
+		}
+		h.allocated[start] = size
+		h.inUse += size
+		h.allocs++
+		if h.inUse > h.peak {
+			h.peak = h.inUse
+		}
+		return start, nil
+	}
+	// No fit in the mapped chunks: grow toward the limit and retry.
+	// The padding bound covers the worst-case alignment slack.
+	if err := h.grow(size + align); err == nil {
+		goto retry
+	}
+	return 0, fmt.Errorf("%w: want %d bytes align %d (in use %d of %d, limit %d)",
+		ErrHeapFull, size, align, h.inUse, h.size, h.limit)
+}
+
+// Free returns the block at addr to the free list, coalescing with
+// adjacent free blocks.
+func (h *Heap) Free(addr uint64) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	size, ok := h.allocated[addr]
+	if !ok {
+		return fmt.Errorf("%w: %#x", ErrBadFree, addr)
+	}
+	delete(h.allocated, addr)
+	h.inUse -= size
+	h.frees++
+	h.insertFree(addr, size)
+	return nil
+}
+
+// insertFree inserts [addr, addr+size) into the address-ordered free
+// list, merging with neighbours. Caller holds h.mu.
+func (h *Heap) insertFree(addr, size uint64) {
+	var prev *freeBlock
+	b := h.free
+	for b != nil && b.addr < addr {
+		prev, b = b, b.next
+	}
+	nb := &freeBlock{addr: addr, size: size, next: b}
+	if prev == nil {
+		h.free = nb
+	} else {
+		prev.next = nb
+	}
+	// Coalesce nb with its successor, then predecessor with nb.
+	if nb.next != nil && nb.addr+nb.size == nb.next.addr {
+		nb.size += nb.next.size
+		nb.next = nb.next.next
+	}
+	if prev != nil && prev.addr+prev.size == nb.addr {
+		prev.size += nb.size
+		prev.next = nb.next
+	}
+}
+
+// SizeOf reports the size of the live allocation at addr.
+func (h *Heap) SizeOf(addr uint64) (uint64, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	size, ok := h.allocated[addr]
+	return size, ok
+}
+
+// Base returns the heap's base address.
+func (h *Heap) Base() uint64 { return h.base }
+
+// Size returns the heap's total capacity in bytes.
+func (h *Heap) Size() uint64 { return h.size }
+
+// Space returns the address space the heap allocates from.
+func (h *Heap) Space() *Space { return h.space }
+
+// HeapStats is a snapshot of allocator counters.
+type HeapStats struct {
+	InUse      uint64
+	Peak       uint64
+	Allocs     uint64
+	Frees      uint64
+	FreeBlocks int
+	LargestGap uint64
+}
+
+// Stats returns current allocator counters.
+func (h *Heap) Stats() HeapStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := HeapStats{InUse: h.inUse, Peak: h.peak, Allocs: h.allocs, Frees: h.frees}
+	for b := h.free; b != nil; b = b.next {
+		st.FreeBlocks++
+		if b.size > st.LargestGap {
+			st.LargestGap = b.size
+		}
+	}
+	return st
+}
+
+// checkInvariants validates free-list ordering, non-overlap and
+// accounting. Used by tests (including property-based tests).
+func (h *Heap) checkInvariants() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	inChunk := func(addr, size uint64) bool {
+		for _, c := range h.chunks {
+			if addr >= c.base && addr+size <= c.base+c.size {
+				return true
+			}
+		}
+		return h.fixed && addr >= h.base && addr+size <= h.base+h.size
+	}
+	var freeTotal uint64
+	for b := h.free; b != nil; b = b.next {
+		if b.size == 0 {
+			return fmt.Errorf("zero-size free block at %#x", b.addr)
+		}
+		if !inChunk(b.addr, b.size) {
+			return fmt.Errorf("free block [%#x,%#x) outside heap chunks", b.addr, b.addr+b.size)
+		}
+		if b.next != nil {
+			if b.addr+b.size > b.next.addr {
+				return fmt.Errorf("free blocks overlap or unordered at %#x", b.addr)
+			}
+			if b.addr+b.size == b.next.addr {
+				return fmt.Errorf("uncoalesced neighbours at %#x", b.addr)
+			}
+		}
+		freeTotal += b.size
+	}
+	if freeTotal+h.inUse != h.size {
+		return fmt.Errorf("accounting mismatch: free %d + inUse %d != size %d",
+			freeTotal, h.inUse, h.size)
+	}
+	for addr, size := range h.allocated {
+		if !inChunk(addr, size) {
+			return fmt.Errorf("allocation [%#x,%#x) outside heap chunks", addr, addr+size)
+		}
+	}
+	return nil
+}

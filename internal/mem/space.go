@@ -1,0 +1,333 @@
+// Package mem provides the simulated single address space that backs a
+// WorkFlow Domain (WFD). The paper runs every function of a workflow, the
+// LibOS, and the visor inside one process address space partitioned with
+// Intel MPK; here the address space is modelled explicitly so that the
+// protection-key layer (internal/mpk) can bind a key to every page and
+// check each access, and so that the mmap_file_backend module can handle
+// page faults in user space (the paper uses Linux userfaultfd).
+//
+// Addresses are abstract uint64 values. Memory is organised in regions
+// (created by Map/MapAt) that are contiguous in the backing store, which
+// lets higher layers obtain zero-copy views of buffers that live entirely
+// inside one region — this is what makes reference passing between
+// functions of a WFD a constant-time operation, the core of the paper's
+// intermediate-data-transfer optimisation.
+package mem
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// PageSize is the granularity of mapping, key binding and fault handling.
+const PageSize = 4096
+
+// Common errors returned by address-space operations.
+var (
+	ErrNoMemory      = errors.New("mem: out of memory")
+	ErrBadAddress    = errors.New("mem: address not mapped")
+	ErrOverlap       = errors.New("mem: mapping overlaps existing region")
+	ErrUnaligned     = errors.New("mem: address or length not page aligned")
+	ErrAccessDenied  = errors.New("mem: access denied by protection key")
+	ErrFaultUnfilled = errors.New("mem: page fault handler did not fill page")
+)
+
+// Access decides whether an execution context may touch memory tagged with
+// a protection key. The zero contract: a nil Access allows everything
+// (kernel/visor context). internal/mpk provides the real implementation.
+type Access interface {
+	// Allows reports whether pages bound to key may be read (write=false)
+	// or written (write=true) by the current context.
+	Allows(key uint8, write bool) bool
+}
+
+// FaultHandler fills a freshly-faulted page. addr is the page-aligned
+// virtual address; data is the PageSize-long backing slice to fill. It is
+// the analogue of a userfaultfd handler in the paper's mmap_file_backend
+// module.
+type FaultHandler func(addr uint64, data []byte) error
+
+// region is a contiguous mapping inside a Space.
+type region struct {
+	base uint64
+	size uint64
+	data []byte
+
+	keys []uint8 // protection key per page
+
+	// Lazy (fault-backed) regions start with no pages present.
+	lazy    bool
+	present []bool
+	handler FaultHandler
+}
+
+func (r *region) end() uint64 { return r.base + r.size }
+
+func (r *region) pageIndex(addr uint64) int {
+	return int((addr - r.base) / PageSize)
+}
+
+// Space is a simulated virtual address space. All methods are safe for
+// concurrent use; data copies happen outside the region-table lock so
+// parallel functions of a workflow can stream through memory concurrently.
+type Space struct {
+	mu      sync.RWMutex
+	regions []*region // sorted by base
+	limit   uint64    // total bytes allowed to be mapped
+	mapped  uint64
+	next    uint64 // bump pointer for Map
+
+	faults uint64 // page faults served (metrics)
+}
+
+// NewSpace returns a Space allowed to map at most limit bytes. A limit of
+// 0 means unconstrained.
+func NewSpace(limit uint64) *Space {
+	return &Space{limit: limit, next: PageSize} // keep page 0 unmapped
+}
+
+// roundUp rounds n up to the next multiple of PageSize.
+func roundUp(n uint64) uint64 {
+	return (n + PageSize - 1) &^ uint64(PageSize-1)
+}
+
+// Map reserves a new region of at least length bytes and returns its base
+// address. The region is eagerly backed.
+func (s *Space) Map(length uint64) (uint64, error) {
+	return s.mapRegion(0, length, false, nil)
+}
+
+// MapAt maps a region at a fixed page-aligned base address.
+func (s *Space) MapAt(base, length uint64) error {
+	if base%PageSize != 0 {
+		return ErrUnaligned
+	}
+	_, err := s.mapRegion(base, length, false, nil)
+	return err
+}
+
+// MapLazy reserves a fault-backed region: pages materialise on first
+// access through handler. This is the substrate for mmap_file_backend.
+func (s *Space) MapLazy(length uint64, handler FaultHandler) (uint64, error) {
+	if handler == nil {
+		return 0, errors.New("mem: MapLazy requires a fault handler")
+	}
+	return s.mapRegion(0, length, true, handler)
+}
+
+func (s *Space) mapRegion(base, length uint64, lazy bool, h FaultHandler) (uint64, error) {
+	if length == 0 {
+		return 0, errors.New("mem: zero-length mapping")
+	}
+	length = roundUp(length)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	if s.limit != 0 && s.mapped+length > s.limit {
+		return 0, fmt.Errorf("%w: %d mapped, %d requested, limit %d",
+			ErrNoMemory, s.mapped, length, s.limit)
+	}
+	if base == 0 {
+		base = s.next
+	}
+	idx := sort.Search(len(s.regions), func(i int) bool {
+		return s.regions[i].base >= base
+	})
+	if idx > 0 && s.regions[idx-1].end() > base {
+		return 0, fmt.Errorf("%w: [%#x,%#x)", ErrOverlap, base, base+length)
+	}
+	if idx < len(s.regions) && s.regions[idx].base < base+length {
+		return 0, fmt.Errorf("%w: [%#x,%#x)", ErrOverlap, base, base+length)
+	}
+
+	npages := int(length / PageSize)
+	r := &region{
+		base: base,
+		size: length,
+		keys: make([]uint8, npages),
+		lazy: lazy,
+	}
+	if lazy {
+		r.present = make([]bool, npages)
+		r.handler = h
+	}
+	r.data = make([]byte, length)
+
+	s.regions = append(s.regions, nil)
+	copy(s.regions[idx+1:], s.regions[idx:])
+	s.regions[idx] = r
+	s.mapped += length
+	if base+length > s.next {
+		s.next = base + length
+	}
+	return base, nil
+}
+
+// Unmap removes the region based at base. The whole region is removed;
+// partial unmapping is not supported (the LibOS never needs it).
+func (s *Space) Unmap(base uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx := sort.Search(len(s.regions), func(i int) bool {
+		return s.regions[i].base >= base
+	})
+	if idx == len(s.regions) || s.regions[idx].base != base {
+		return fmt.Errorf("%w: %#x", ErrBadAddress, base)
+	}
+	s.mapped -= s.regions[idx].size
+	s.regions = append(s.regions[:idx], s.regions[idx+1:]...)
+	return nil
+}
+
+// find returns the region containing addr, or nil.
+// Caller must hold at least the read lock.
+func (s *Space) find(addr uint64) *region {
+	idx := sort.Search(len(s.regions), func(i int) bool {
+		return s.regions[i].end() > addr
+	})
+	if idx == len(s.regions) || s.regions[idx].base > addr {
+		return nil
+	}
+	return s.regions[idx]
+}
+
+// SetKey binds protection key to every page of [base, base+length).
+// Both base and length must be page aligned: MPK binds at page level.
+func (s *Space) SetKey(base, length uint64, key uint8) error {
+	if base%PageSize != 0 || length%PageSize != 0 {
+		return ErrUnaligned
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for addr := base; addr < base+length; {
+		r := s.find(addr)
+		if r == nil {
+			return fmt.Errorf("%w: %#x", ErrBadAddress, addr)
+		}
+		stop := base + length
+		if re := r.end(); re < stop {
+			stop = re
+		}
+		for i := r.pageIndex(addr); addr < stop; i, addr = i+1, addr+PageSize {
+			r.keys[i] = key
+		}
+	}
+	return nil
+}
+
+// KeyAt reports the protection key bound to the page containing addr.
+func (s *Space) KeyAt(addr uint64) (uint8, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r := s.find(addr)
+	if r == nil {
+		return 0, fmt.Errorf("%w: %#x", ErrBadAddress, addr)
+	}
+	return r.keys[r.pageIndex(addr)], nil
+}
+
+// checkAndFault validates [addr, addr+n) against access and serves faults
+// on lazy pages. Caller must hold the read lock; fault filling upgrades
+// internally via the per-call slow path (faults are rare by design).
+func (s *Space) checkAndFault(r *region, addr, n uint64, access Access, write bool) error {
+	if addr+n > r.end() {
+		return fmt.Errorf("%w: [%#x,%#x) crosses region end %#x",
+			ErrBadAddress, addr, addr+n, r.end())
+	}
+	first := r.pageIndex(addr)
+	last := r.pageIndex(addr + n - 1)
+	for i := first; i <= last; i++ {
+		if access != nil && !access.Allows(r.keys[i], write) {
+			return fmt.Errorf("%w: page %#x key %d write=%v",
+				ErrAccessDenied, r.base+uint64(i)*PageSize, r.keys[i], write)
+		}
+		if r.lazy && !r.present[i] {
+			pageAddr := r.base + uint64(i)*PageSize
+			data := r.data[uint64(i)*PageSize : uint64(i+1)*PageSize]
+			if err := r.handler(pageAddr, data); err != nil {
+				return fmt.Errorf("%w: %v", ErrFaultUnfilled, err)
+			}
+			r.present[i] = true
+			s.faults++
+		}
+	}
+	return nil
+}
+
+// ReadAt copies len(p) bytes at addr into p, subject to access checks.
+func (s *Space) ReadAt(access Access, addr uint64, p []byte) error {
+	if len(p) == 0 {
+		return nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r := s.find(addr)
+	if r == nil {
+		return fmt.Errorf("%w: %#x", ErrBadAddress, addr)
+	}
+	if err := s.checkAndFault(r, addr, uint64(len(p)), access, false); err != nil {
+		return err
+	}
+	copy(p, r.data[addr-r.base:])
+	return nil
+}
+
+// WriteAt copies p into memory at addr, subject to access checks.
+func (s *Space) WriteAt(access Access, addr uint64, p []byte) error {
+	if len(p) == 0 {
+		return nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r := s.find(addr)
+	if r == nil {
+		return fmt.Errorf("%w: %#x", ErrBadAddress, addr)
+	}
+	if err := s.checkAndFault(r, addr, uint64(len(p)), access, true); err != nil {
+		return err
+	}
+	copy(r.data[addr-r.base:], p)
+	return nil
+}
+
+// Slice returns a zero-copy view of [addr, addr+n). The range must lie in
+// a single region. This is the load/store path of the paper's single
+// address space: once a function holds a reference (the AsBuffer), reads
+// and writes are plain memory operations with no copying.
+func (s *Space) Slice(access Access, addr, n uint64, write bool) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r := s.find(addr)
+	if r == nil {
+		return nil, fmt.Errorf("%w: %#x", ErrBadAddress, addr)
+	}
+	if err := s.checkAndFault(r, addr, n, access, write); err != nil {
+		return nil, err
+	}
+	off := addr - r.base
+	return r.data[off : off+n : off+n], nil
+}
+
+// Mapped reports the number of bytes currently mapped.
+func (s *Space) Mapped() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.mapped
+}
+
+// Faults reports the number of page faults served by fault handlers.
+func (s *Space) Faults() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.faults
+}
+
+// Regions reports the number of live mappings.
+func (s *Space) Regions() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.regions)
+}

@@ -1,0 +1,229 @@
+// Package metrics provides the measurement plumbing for the evaluation
+// harness: latency recorders with percentile summaries (Figure 17a),
+// per-function stage clocks for the read-input / compute / transfer
+// breakdown (Figure 15), and a resource meter that components report
+// modelled CPU and memory usage to (Figure 17b).
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Recorder accumulates latency samples. Safe for concurrent use.
+type Recorder struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Record adds one sample.
+func (r *Recorder) Record(d time.Duration) {
+	r.mu.Lock()
+	r.samples = append(r.samples, d)
+	r.mu.Unlock()
+}
+
+// Time runs fn and records its wall-clock duration.
+func (r *Recorder) Time(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	d := time.Since(start)
+	r.Record(d)
+	return d
+}
+
+// Count reports the number of samples.
+func (r *Recorder) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.samples)
+}
+
+// Summary is a percentile digest of a sample set.
+type Summary struct {
+	Count          int
+	Min, Max, Mean time.Duration
+	P50, P90, P99  time.Duration
+}
+
+// Summarize computes the digest. An empty recorder yields a zero Summary.
+func (r *Recorder) Summarize() Summary {
+	r.mu.Lock()
+	samples := make([]time.Duration, len(r.samples))
+	copy(samples, r.samples)
+	r.mu.Unlock()
+	return Summarize(samples)
+}
+
+// Summarize digests an arbitrary sample slice.
+func Summarize(samples []time.Duration) Summary {
+	var s Summary
+	s.Count = len(samples)
+	if s.Count == 0 {
+		return s
+	}
+	sorted := make([]time.Duration, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	s.Min = sorted[0]
+	s.Max = sorted[len(sorted)-1]
+	var total time.Duration
+	for _, d := range sorted {
+		total += d
+	}
+	s.Mean = total / time.Duration(len(sorted))
+	s.P50 = percentile(sorted, 50)
+	s.P90 = percentile(sorted, 90)
+	s.P99 = percentile(sorted, 99)
+	return s
+}
+
+// percentile returns the nearest-rank percentile of a sorted slice.
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (p*len(sorted) + 99) / 100 // ceil(p/100 * n)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// Stage identifies one phase of a function's execution (Figure 15).
+type Stage int
+
+// The three stages the paper breaks function execution into, plus the
+// fan-in synchronisation wait it plots as the unhatched area.
+const (
+	StageReadInput Stage = iota
+	StageCompute
+	StageTransfer
+	StageWait
+	numStages
+)
+
+// String names the stage.
+func (s Stage) String() string {
+	switch s {
+	case StageReadInput:
+		return "read-input"
+	case StageCompute:
+		return "compute"
+	case StageTransfer:
+		return "transfer"
+	case StageWait:
+		return "wait"
+	}
+	return "?"
+}
+
+// StageClock accumulates per-stage time across the functions of one
+// workflow run. Safe for concurrent use by parallel function instances.
+type StageClock struct {
+	mu    sync.Mutex
+	total [numStages]time.Duration
+}
+
+// NewStageClock returns a zeroed clock.
+func NewStageClock() *StageClock { return &StageClock{} }
+
+// Add charges d to stage.
+func (c *StageClock) Add(stage Stage, d time.Duration) {
+	c.mu.Lock()
+	c.total[stage] += d
+	c.mu.Unlock()
+}
+
+// Time runs fn, charging its duration to stage.
+func (c *StageClock) Time(stage Stage, fn func() error) error {
+	start := time.Now()
+	err := fn()
+	c.Add(stage, time.Since(start))
+	return err
+}
+
+// Total reports the accumulated time for stage.
+func (c *StageClock) Total(stage Stage) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total[stage]
+}
+
+// Breakdown returns all stage totals keyed by stage name.
+func (c *StageClock) Breakdown() map[string]time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]time.Duration, numStages)
+	for s := Stage(0); s < numStages; s++ {
+		out[s.String()] = c.total[s]
+	}
+	return out
+}
+
+// ResourceMeter aggregates modelled CPU time and peak memory across the
+// components of one experiment run. Real hardware counters are not
+// available to a simulation, so each subsystem charges what it models:
+// the visor charges WFD heap usage, baselines charge their guest-kernel
+// and sandbox overheads from the calibrated cost table.
+type ResourceMeter struct {
+	mu      sync.Mutex
+	cpuTime time.Duration
+	memPeak int64
+	memCur  int64
+}
+
+// NewResourceMeter returns a zeroed meter.
+func NewResourceMeter() *ResourceMeter { return &ResourceMeter{} }
+
+// ChargeCPU adds modelled CPU time.
+func (m *ResourceMeter) ChargeCPU(d time.Duration) {
+	m.mu.Lock()
+	m.cpuTime += d
+	m.mu.Unlock()
+}
+
+// GrowMem records an allocation of n bytes.
+func (m *ResourceMeter) GrowMem(n int64) {
+	m.mu.Lock()
+	m.memCur += n
+	if m.memCur > m.memPeak {
+		m.memPeak = m.memCur
+	}
+	m.mu.Unlock()
+}
+
+// ShrinkMem records a release of n bytes.
+func (m *ResourceMeter) ShrinkMem(n int64) {
+	m.mu.Lock()
+	m.memCur -= n
+	m.mu.Unlock()
+}
+
+// Snapshot reports (cpu time, current memory, peak memory).
+func (m *ResourceMeter) Snapshot() (cpu time.Duration, cur, peak int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cpuTime, m.memCur, m.memPeak
+}
+
+// FormatBytes renders a byte count in human units for reports.
+func FormatBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
+}

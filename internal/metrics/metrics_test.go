@@ -1,0 +1,149 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	r := NewRecorder()
+	for _, ms := range []int{5, 1, 3, 2, 4} {
+		r.Record(time.Duration(ms) * time.Millisecond)
+	}
+	s := r.Summarize()
+	if s.Count != 5 {
+		t.Fatalf("Count = %d", s.Count)
+	}
+	if s.Min != time.Millisecond || s.Max != 5*time.Millisecond {
+		t.Fatalf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+	if s.Mean != 3*time.Millisecond {
+		t.Fatalf("Mean = %v", s.Mean)
+	}
+	if s.P50 != 3*time.Millisecond {
+		t.Fatalf("P50 = %v", s.P50)
+	}
+	if s.P99 != 5*time.Millisecond {
+		t.Fatalf("P99 = %v", s.P99)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := NewRecorder().Summarize()
+	if s.Count != 0 || s.Max != 0 || s.P99 != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestPercentileSingleSample(t *testing.T) {
+	s := Summarize([]time.Duration{7 * time.Millisecond})
+	if s.P50 != 7*time.Millisecond || s.P99 != 7*time.Millisecond {
+		t.Fatalf("single-sample percentiles = %+v", s)
+	}
+}
+
+// Property: percentiles are monotone and bounded by min/max.
+func TestPropertyPercentileMonotone(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		samples := make([]time.Duration, len(raw))
+		for i, v := range raw {
+			samples[i] = time.Duration(v) * time.Microsecond
+		}
+		s := Summarize(samples)
+		return s.Min <= s.P50 && s.P50 <= s.P90 && s.P90 <= s.P99 && s.P99 <= s.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecorderTime(t *testing.T) {
+	r := NewRecorder()
+	d := r.Time(func() { time.Sleep(5 * time.Millisecond) })
+	if d < 5*time.Millisecond {
+		t.Fatalf("Time returned %v", d)
+	}
+	if r.Count() != 1 {
+		t.Fatalf("Count = %d", r.Count())
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Record(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Count() != 1600 {
+		t.Fatalf("Count = %d, want 1600", r.Count())
+	}
+}
+
+func TestStageClock(t *testing.T) {
+	c := NewStageClock()
+	c.Add(StageReadInput, 10*time.Millisecond)
+	c.Add(StageCompute, 20*time.Millisecond)
+	c.Add(StageCompute, 5*time.Millisecond)
+	if got := c.Total(StageCompute); got != 25*time.Millisecond {
+		t.Fatalf("compute total = %v", got)
+	}
+	if got := c.Total(StageTransfer); got != 0 {
+		t.Fatalf("transfer total = %v", got)
+	}
+	b := c.Breakdown()
+	if b["read-input"] != 10*time.Millisecond || b["compute"] != 25*time.Millisecond {
+		t.Fatalf("breakdown = %v", b)
+	}
+}
+
+func TestStageClockTime(t *testing.T) {
+	c := NewStageClock()
+	err := c.Time(StageTransfer, func() error {
+		time.Sleep(3 * time.Millisecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Total(StageTransfer) < 3*time.Millisecond {
+		t.Fatalf("transfer = %v", c.Total(StageTransfer))
+	}
+}
+
+func TestResourceMeter(t *testing.T) {
+	m := NewResourceMeter()
+	m.GrowMem(100)
+	m.GrowMem(50)
+	m.ShrinkMem(120)
+	m.ChargeCPU(time.Second)
+	cpu, cur, peak := m.Snapshot()
+	if cpu != time.Second || cur != 30 || peak != 150 {
+		t.Fatalf("snapshot = %v, %d, %d", cpu, cur, peak)
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[int64]string{
+		512:     "512B",
+		2048:    "2.0KiB",
+		3 << 20: "3.0MiB",
+		5 << 30: "5.0GiB",
+	}
+	for n, want := range cases {
+		if got := FormatBytes(n); got != want {
+			t.Fatalf("FormatBytes(%d) = %s, want %s", n, got, want)
+		}
+	}
+}

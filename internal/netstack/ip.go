@@ -1,0 +1,216 @@
+// Package netstack is a from-scratch userspace TCP/IP stack, the analogue
+// of the smoltcp stack AlloyStack's as-libos uses for its socket module.
+// Each WFD owns one Stack bound to a virtual NIC with its own IP address
+// (the paper creates a TAP device per WFD); NICs attach to a Hub that
+// plays the role of the host bridge. The TCP implementation does real
+// protocol work — checksummed headers, three-way handshake, sliding-window
+// flow control, retransmission, and orderly FIN teardown — so the Table 4
+// substrate measurements and every socket-using workload exercise a real
+// protocol path rather than a channel in disguise.
+//
+// Simplifications relative to a production stack, chosen because the
+// LibOS only ever talks across the in-process hub: the link layer routes
+// by IPv4 address (no Ethernet/ARP), there is no congestion control (the
+// hub neither reorders nor queues beyond its buffer), and TIME_WAIT is
+// abbreviated. Loss and retransmission are real and tested via a
+// loss-injecting hub.
+package netstack
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Addr is an IPv4 address.
+type Addr [4]byte
+
+// String renders the address in dotted-quad form.
+func (a Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", a[0], a[1], a[2], a[3])
+}
+
+// IP builds an Addr from four octets.
+func IP(a, b, c, d byte) Addr { return Addr{a, b, c, d} }
+
+// Endpoint is one side of a TCP connection.
+type Endpoint struct {
+	Addr Addr
+	Port uint16
+}
+
+// String renders the endpoint as "a.b.c.d:port".
+func (e Endpoint) String() string { return fmt.Sprintf("%s:%d", e.Addr, e.Port) }
+
+// Protocol numbers used in the IPv4 header.
+const (
+	ProtoTCP = 6
+)
+
+const ipHeaderLen = 20
+
+// ipHeader is a decoded IPv4 header (no options).
+type ipHeader struct {
+	TotalLen uint16
+	ID       uint16
+	TTL      uint8
+	Protocol uint8
+	Src, Dst Addr
+}
+
+// Errors returned by packet parsing.
+var (
+	ErrShortPacket  = errors.New("netstack: truncated packet")
+	ErrBadChecksum  = errors.New("netstack: checksum mismatch")
+	ErrBadVersion   = errors.New("netstack: not IPv4")
+	ErrNotTCP       = errors.New("netstack: unsupported protocol")
+	ErrPacketTooBig = errors.New("netstack: packet exceeds MTU")
+)
+
+// checksum computes the Internet checksum (RFC 1071) over b.
+func checksum(sum uint32, b []byte) uint32 {
+	n := len(b)
+	for i := 0; i+1 < n; i += 2 {
+		sum += uint32(b[i])<<8 | uint32(b[i+1])
+	}
+	if n%2 == 1 {
+		sum += uint32(b[n-1]) << 8
+	}
+	return sum
+}
+
+func foldChecksum(sum uint32) uint16 {
+	for sum>>16 != 0 {
+		sum = (sum & 0xFFFF) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// marshalIP prepends an IPv4 header to payload and returns the packet.
+func marshalIP(src, dst Addr, proto uint8, id uint16, payload []byte) []byte {
+	total := ipHeaderLen + len(payload)
+	pkt := make([]byte, total)
+	pkt[0] = 0x45 // version 4, IHL 5
+	binary.BigEndian.PutUint16(pkt[2:4], uint16(total))
+	binary.BigEndian.PutUint16(pkt[4:6], id)
+	pkt[8] = 64 // TTL
+	pkt[9] = proto
+	copy(pkt[12:16], src[:])
+	copy(pkt[16:20], dst[:])
+	binary.BigEndian.PutUint16(pkt[10:12], foldChecksum(checksum(0, pkt[:ipHeaderLen])))
+	copy(pkt[ipHeaderLen:], payload)
+	return pkt
+}
+
+// parseIP validates an IPv4 packet and returns its header and payload.
+// The payload aliases pkt.
+func parseIP(pkt []byte) (ipHeader, []byte, error) {
+	var h ipHeader
+	if len(pkt) < ipHeaderLen {
+		return h, nil, ErrShortPacket
+	}
+	if pkt[0]>>4 != 4 || pkt[0]&0x0F != 5 {
+		return h, nil, ErrBadVersion
+	}
+	if foldChecksum(checksum(0, pkt[:ipHeaderLen])) != 0 {
+		return h, nil, fmt.Errorf("%w: ip header", ErrBadChecksum)
+	}
+	h.TotalLen = binary.BigEndian.Uint16(pkt[2:4])
+	if int(h.TotalLen) > len(pkt) || int(h.TotalLen) < ipHeaderLen {
+		return h, nil, ErrShortPacket
+	}
+	h.ID = binary.BigEndian.Uint16(pkt[4:6])
+	h.TTL = pkt[8]
+	h.Protocol = pkt[9]
+	copy(h.Src[:], pkt[12:16])
+	copy(h.Dst[:], pkt[16:20])
+	return h, pkt[ipHeaderLen:h.TotalLen], nil
+}
+
+// TCP flags.
+const (
+	flagFIN = 1 << 0
+	flagSYN = 1 << 1
+	flagRST = 1 << 2
+	flagPSH = 1 << 3
+	flagACK = 1 << 4
+)
+
+const tcpHeaderLen = 20
+
+// segment is a decoded TCP segment.
+type segment struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            uint8
+	Window           uint16
+	Payload          []byte
+}
+
+func (s *segment) has(flag uint8) bool { return s.Flags&flag != 0 }
+
+// seqLen is the amount of sequence space the segment consumes.
+func (s *segment) seqLen() uint32 {
+	n := uint32(len(s.Payload))
+	if s.has(flagSYN) {
+		n++
+	}
+	if s.has(flagFIN) {
+		n++
+	}
+	return n
+}
+
+// pseudoSum starts a TCP checksum with the IPv4 pseudo-header.
+func pseudoSum(src, dst Addr, tcpLen int) uint32 {
+	var ph [12]byte
+	copy(ph[0:4], src[:])
+	copy(ph[4:8], dst[:])
+	ph[9] = ProtoTCP
+	binary.BigEndian.PutUint16(ph[10:12], uint16(tcpLen))
+	return checksum(0, ph[:])
+}
+
+// marshalTCP serialises a segment with a valid checksum.
+func marshalTCP(src, dst Addr, s *segment) []byte {
+	b := make([]byte, tcpHeaderLen+len(s.Payload))
+	binary.BigEndian.PutUint16(b[0:2], s.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], s.DstPort)
+	binary.BigEndian.PutUint32(b[4:8], s.Seq)
+	binary.BigEndian.PutUint32(b[8:12], s.Ack)
+	b[12] = (tcpHeaderLen / 4) << 4 // data offset
+	b[13] = s.Flags
+	binary.BigEndian.PutUint16(b[14:16], s.Window)
+	copy(b[tcpHeaderLen:], s.Payload)
+	sum := pseudoSum(src, dst, len(b))
+	binary.BigEndian.PutUint16(b[16:18], foldChecksum(checksum(sum, b)))
+	return b
+}
+
+// parseTCP validates and decodes a TCP segment. Payload aliases b.
+func parseTCP(src, dst Addr, b []byte) (*segment, error) {
+	if len(b) < tcpHeaderLen {
+		return nil, ErrShortPacket
+	}
+	sum := pseudoSum(src, dst, len(b))
+	if foldChecksum(checksum(sum, b)) != 0 {
+		return nil, fmt.Errorf("%w: tcp segment", ErrBadChecksum)
+	}
+	off := int(b[12]>>4) * 4
+	if off < tcpHeaderLen || off > len(b) {
+		return nil, ErrShortPacket
+	}
+	return &segment{
+		SrcPort: binary.BigEndian.Uint16(b[0:2]),
+		DstPort: binary.BigEndian.Uint16(b[2:4]),
+		Seq:     binary.BigEndian.Uint32(b[4:8]),
+		Ack:     binary.BigEndian.Uint32(b[8:12]),
+		Flags:   b[13],
+		Window:  binary.BigEndian.Uint16(b[14:16]),
+		Payload: b[off:],
+	}, nil
+}
+
+// Sequence-number comparison helpers (RFC 793 modular arithmetic).
+func seqLT(a, b uint32) bool  { return int32(a-b) < 0 }
+func seqLEQ(a, b uint32) bool { return int32(a-b) <= 0 }

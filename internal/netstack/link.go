@@ -1,0 +1,137 @@
+package netstack
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// MTU bounds a single frame on the virtual link, matching common
+// Ethernet framing so segmentation logic is exercised realistically.
+const MTU = 1500
+
+// Hub is the virtual switch connecting the NICs of WFDs and host-side
+// services. It delivers IPv4 packets by destination address — the role
+// the Linux bridge plays for the paper's per-WFD TAP devices.
+type Hub struct {
+	mu   sync.RWMutex
+	nics map[Addr]*NIC
+
+	// LossRate drops a fraction of frames (0..1) for fault-injection
+	// tests of the retransmission machinery.
+	LossRate float64
+	rng      *rand.Rand
+	dropped  int64
+	frames   int64
+}
+
+// NewHub returns an empty hub.
+func NewHub() *Hub {
+	return &Hub{nics: make(map[Addr]*NIC), rng: rand.New(rand.NewSource(1))}
+}
+
+// Errors returned by the link layer.
+var (
+	ErrAddrInUse   = errors.New("netstack: address already attached")
+	ErrUnreachable = errors.New("netstack: destination unreachable")
+	ErrNICDetached = errors.New("netstack: nic detached")
+)
+
+// NIC is a virtual network interface with a receive queue. Each Stack
+// owns exactly one.
+type NIC struct {
+	addr Addr
+	hub  *Hub
+	rx   chan []byte
+	once sync.Once
+	done chan struct{}
+}
+
+// Attach creates a NIC with the given address on the hub.
+func (h *Hub) Attach(addr Addr) (*NIC, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.nics[addr]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrAddrInUse, addr)
+	}
+	n := &NIC{
+		addr: addr,
+		hub:  h,
+		rx:   make(chan []byte, 1024),
+		done: make(chan struct{}),
+	}
+	h.nics[addr] = n
+	return n, nil
+}
+
+// Detach removes the NIC from the hub and wakes any receiver.
+func (n *NIC) Detach() {
+	n.once.Do(func() {
+		n.hub.mu.Lock()
+		delete(n.hub.nics, n.addr)
+		n.hub.mu.Unlock()
+		close(n.done)
+	})
+}
+
+// Addr returns the NIC's IP address.
+func (n *NIC) Addr() Addr { return n.addr }
+
+// Send transmits an IPv4 packet onto the hub. Packets to unknown
+// destinations are dropped silently, as a real link would.
+func (n *NIC) Send(pkt []byte) error {
+	if len(pkt) > MTU+ipHeaderLen {
+		return ErrPacketTooBig
+	}
+	h, _, err := parseIP(pkt)
+	if err != nil {
+		return err
+	}
+	hub := n.hub
+	hub.mu.Lock()
+	hub.frames++
+	if hub.LossRate > 0 && hub.rng.Float64() < hub.LossRate {
+		hub.dropped++
+		hub.mu.Unlock()
+		return nil
+	}
+	dst := hub.nics[h.Dst]
+	hub.mu.Unlock()
+	if dst == nil {
+		return nil // unreachable: dropped on the floor
+	}
+	select {
+	case dst.rx <- pkt:
+	case <-dst.done:
+	default:
+		// Receive queue overflow: drop, as a NIC ring would.
+		hub.mu.Lock()
+		hub.dropped++
+		hub.mu.Unlock()
+	}
+	return nil
+}
+
+// Recv blocks until a packet arrives or the NIC is detached.
+func (n *NIC) Recv() ([]byte, error) {
+	select {
+	case pkt := <-n.rx:
+		return pkt, nil
+	case <-n.done:
+		// Drain anything already queued before reporting detach.
+		select {
+		case pkt := <-n.rx:
+			return pkt, nil
+		default:
+			return nil, ErrNICDetached
+		}
+	}
+}
+
+// Stats reports (framesSent, framesDropped).
+func (h *Hub) Stats() (frames, dropped int64) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.frames, h.dropped
+}

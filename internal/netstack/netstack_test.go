@@ -1,0 +1,518 @@
+package netstack
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestChecksumRoundTrip(t *testing.T) {
+	pkt := marshalIP(IP(10, 0, 0, 1), IP(10, 0, 0, 2), ProtoTCP, 7, []byte("payload"))
+	h, payload, err := parseIP(pkt)
+	if err != nil {
+		t.Fatalf("parseIP: %v", err)
+	}
+	if h.Src != IP(10, 0, 0, 1) || h.Dst != IP(10, 0, 0, 2) || h.ID != 7 {
+		t.Fatalf("header = %+v", h)
+	}
+	if string(payload) != "payload" {
+		t.Fatalf("payload = %q", payload)
+	}
+}
+
+func TestCorruptedIPRejected(t *testing.T) {
+	pkt := marshalIP(IP(1, 1, 1, 1), IP(2, 2, 2, 2), ProtoTCP, 1, []byte("x"))
+	pkt[15] ^= 0xFF // flip a source-address byte
+	if _, _, err := parseIP(pkt); !errors.Is(err, ErrBadChecksum) {
+		t.Fatalf("corrupted packet: err = %v, want ErrBadChecksum", err)
+	}
+}
+
+func TestTCPSegmentRoundTrip(t *testing.T) {
+	src, dst := IP(10, 0, 0, 1), IP(10, 0, 0, 2)
+	s := &segment{
+		SrcPort: 1234, DstPort: 80,
+		Seq: 0xDEADBEEF, Ack: 0xCAFEBABE,
+		Flags: flagACK | flagPSH, Window: 4096,
+		Payload: []byte("GET /"),
+	}
+	b := marshalTCP(src, dst, s)
+	got, err := parseTCP(src, dst, b)
+	if err != nil {
+		t.Fatalf("parseTCP: %v", err)
+	}
+	if got.SrcPort != 1234 || got.DstPort != 80 || got.Seq != 0xDEADBEEF ||
+		got.Ack != 0xCAFEBABE || got.Flags != flagACK|flagPSH ||
+		got.Window != 4096 || string(got.Payload) != "GET /" {
+		t.Fatalf("round trip = %+v", got)
+	}
+}
+
+func TestCorruptedTCPRejected(t *testing.T) {
+	src, dst := IP(10, 0, 0, 1), IP(10, 0, 0, 2)
+	b := marshalTCP(src, dst, &segment{SrcPort: 1, DstPort: 2, Payload: []byte("data")})
+	b[len(b)-1] ^= 0x01
+	if _, err := parseTCP(src, dst, b); !errors.Is(err, ErrBadChecksum) {
+		t.Fatalf("corrupted segment: err = %v, want ErrBadChecksum", err)
+	}
+}
+
+// Property: the checksum catches any single-bit flip in a TCP segment.
+func TestPropertyChecksumDetectsBitFlips(t *testing.T) {
+	src, dst := IP(10, 0, 0, 1), IP(10, 0, 0, 2)
+	f := func(payload []byte, bit uint16) bool {
+		s := &segment{SrcPort: 9, DstPort: 10, Seq: 1, Ack: 2, Flags: flagACK, Window: 100, Payload: payload}
+		b := marshalTCP(src, dst, s)
+		idx := int(bit) % (len(b) * 8)
+		b[idx/8] ^= 1 << (idx % 8)
+		_, err := parseTCP(src, dst, b)
+		return err != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHubAttachDetach(t *testing.T) {
+	h := NewHub()
+	n1, err := h.Attach(IP(10, 0, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Attach(IP(10, 0, 0, 1)); !errors.Is(err, ErrAddrInUse) {
+		t.Fatalf("duplicate attach: err = %v, want ErrAddrInUse", err)
+	}
+	n1.Detach()
+	if _, err := h.Attach(IP(10, 0, 0, 1)); err != nil {
+		t.Fatalf("re-attach after detach: %v", err)
+	}
+}
+
+func TestHubDelivery(t *testing.T) {
+	h := NewHub()
+	n1, _ := h.Attach(IP(10, 0, 0, 1))
+	n2, _ := h.Attach(IP(10, 0, 0, 2))
+	pkt := marshalIP(n1.Addr(), n2.Addr(), ProtoTCP, 1, []byte("frame"))
+	if err := n1.Send(pkt); err != nil {
+		t.Fatal(err)
+	}
+	got, err := n2.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pkt) {
+		t.Fatal("delivered frame differs")
+	}
+}
+
+// pair builds two stacks on a shared hub.
+func pair(t testing.TB) (*Stack, *Stack, *Hub) {
+	t.Helper()
+	h := NewHub()
+	n1, err := h.Attach(IP(10, 0, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := h.Attach(IP(10, 0, 0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, s2 := NewStack(n1), NewStack(n2)
+	t.Cleanup(func() { s1.Close(); s2.Close() })
+	return s1, s2, h
+}
+
+func TestDialListenAccept(t *testing.T) {
+	s1, s2, _ := pair(t)
+	l, err := s2.Listen(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type result struct {
+		c   *Conn
+		err error
+	}
+	acceptCh := make(chan result, 1)
+	go func() {
+		c, err := l.Accept()
+		acceptCh <- result{c, err}
+	}()
+	client, err := s1.Dial(Endpoint{Addr: s2.Addr(), Port: 80})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	r := <-acceptCh
+	if r.err != nil {
+		t.Fatalf("Accept: %v", r.err)
+	}
+	if client.State() != "ESTABLISHED" {
+		t.Fatalf("client state = %s", client.State())
+	}
+	if r.c.RemoteAddr().Addr != s1.Addr() {
+		t.Fatalf("server sees remote %v", r.c.RemoteAddr())
+	}
+}
+
+func TestDialRefused(t *testing.T) {
+	s1, s2, _ := pair(t)
+	_, err := s1.Dial(Endpoint{Addr: s2.Addr(), Port: 9999})
+	if !errors.Is(err, ErrConnReset) && !errors.Is(err, ErrTimeout) {
+		t.Fatalf("dial to closed port: err = %v, want reset", err)
+	}
+}
+
+func TestDialUnreachable(t *testing.T) {
+	s1, _, _ := pair(t)
+	start := time.Now()
+	_, err := s1.Dial(Endpoint{Addr: IP(10, 0, 0, 99), Port: 80})
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("dial to unreachable host: err = %v, want ErrTimeout", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("unreachable dial took too long to fail")
+	}
+}
+
+// echoServer accepts one connection and echoes everything back.
+func echoServer(t testing.TB, st *Stack, port uint16) {
+	t.Helper()
+	l, err := st.Listen(port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 64*1024)
+		for {
+			n, err := c.Read(buf)
+			if n > 0 {
+				if _, werr := c.Write(buf[:n]); werr != nil {
+					return
+				}
+			}
+			if err != nil {
+				c.Close()
+				return
+			}
+		}
+	}()
+}
+
+func TestDataTransferSmall(t *testing.T) {
+	s1, s2, _ := pair(t)
+	echoServer(t, s2, 7)
+	c, err := s1.Dial(Endpoint{Addr: s2.Addr(), Port: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("ping over userspace tcp")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(readerOf(c), got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("echo = %q", got)
+	}
+}
+
+// readerOf adapts Conn to io.Reader (it already is, but keep explicit).
+func readerOf(c *Conn) io.Reader { return c }
+
+func TestDataTransferLargeMultiSegment(t *testing.T) {
+	s1, s2, _ := pair(t)
+	echoServer(t, s2, 7)
+	c, err := s1.Dial(Endpoint{Addr: s2.Addr(), Port: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 2_000_000) // ~1370 segments
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := c.Write(payload); err != nil {
+			t.Errorf("Write: %v", err)
+		}
+	}()
+	got := make([]byte, len(payload))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatalf("ReadFull: %v", err)
+	}
+	wg.Wait()
+	if !bytes.Equal(got, payload) {
+		t.Fatal("large transfer corrupted")
+	}
+}
+
+func TestTransferWithPacketLoss(t *testing.T) {
+	s1, s2, h := pair(t)
+	h.LossRate = 0.05 // 5% loss: retransmission must recover everything
+	echoServer(t, s2, 7)
+	c, err := s1.Dial(Endpoint{Addr: s2.Addr(), Port: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 200_000)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	go c.Write(payload)
+	got := make([]byte, len(payload))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatalf("ReadFull under loss: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("lossy transfer corrupted")
+	}
+	_, dropped := h.Stats()
+	if dropped == 0 {
+		t.Fatal("loss injection did not drop any frames; test proved nothing")
+	}
+}
+
+func TestCloseDeliversEOF(t *testing.T) {
+	s1, s2, _ := pair(t)
+	l, err := s2.Listen(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverGot := make(chan []byte, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		data, _ := io.ReadAll(c)
+		serverGot <- data
+		c.Close()
+	}()
+	c, err := s1.Dial(Endpoint{Addr: s2.Addr(), Port: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Write([]byte("last words"))
+	c.Close()
+	select {
+	case data := <-serverGot:
+		if string(data) != "last words" {
+			t.Fatalf("server read %q", data)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never saw EOF")
+	}
+}
+
+func TestWriteAfterCloseFails(t *testing.T) {
+	s1, s2, _ := pair(t)
+	echoServer(t, s2, 7)
+	c, err := s1.Dial(Endpoint{Addr: s2.Addr(), Port: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if _, err := c.Write([]byte("x")); !errors.Is(err, ErrConnClosed) {
+		t.Fatalf("write after close: err = %v, want ErrConnClosed", err)
+	}
+}
+
+func TestListenerClose(t *testing.T) {
+	_, s2, _ := pair(t)
+	l, err := s2.Listen(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := l.Accept()
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	l.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrListenerDone) {
+			t.Fatalf("Accept after close: err = %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Accept did not wake on Close")
+	}
+	// Port is free again.
+	if _, err := s2.Listen(80); err != nil {
+		t.Fatalf("re-listen after close: %v", err)
+	}
+}
+
+func TestDuplicatePortRejected(t *testing.T) {
+	_, s2, _ := pair(t)
+	if _, err := s2.Listen(80); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Listen(80); !errors.Is(err, ErrPortInUse) {
+		t.Fatalf("duplicate listen: err = %v, want ErrPortInUse", err)
+	}
+}
+
+func TestConcurrentConnections(t *testing.T) {
+	s1, s2, _ := pair(t)
+	l, err := s2.Listen(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(c *Conn) {
+				buf := make([]byte, 4096)
+				for {
+					n, err := c.Read(buf)
+					if n > 0 {
+						c.Write(buf[:n])
+					}
+					if err != nil {
+						c.Close()
+						return
+					}
+				}
+			}(c)
+		}
+	}()
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := s1.Dial(Endpoint{Addr: s2.Addr(), Port: 80})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			msg := bytes.Repeat([]byte{byte(i)}, 10_000)
+			go c.Write(msg)
+			got := make([]byte, len(msg))
+			if _, err := io.ReadFull(c, got); err != nil {
+				errs <- err
+				return
+			}
+			if !bytes.Equal(got, msg) {
+				errs <- errors.New("cross-connection data mixup")
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestStackCloseResetsConns(t *testing.T) {
+	s1, s2, _ := pair(t)
+	echoServer(t, s2, 7)
+	c, err := s1.Dial(Endpoint{Addr: s2.Addr(), Port: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+	if _, err := c.Write([]byte("x")); err == nil {
+		t.Fatal("write on closed stack succeeded")
+	}
+	if _, err := s1.Dial(Endpoint{Addr: s2.Addr(), Port: 7}); !errors.Is(err, ErrStackClosed) {
+		t.Fatalf("dial on closed stack: err = %v", err)
+	}
+}
+
+func TestFlowControlBoundsReceiveBuffer(t *testing.T) {
+	s1, s2, _ := pair(t)
+	l, err := s2.Listen(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := make(chan *Conn, 1)
+	go func() {
+		c, _ := l.Accept()
+		accepted <- c
+	}()
+	c, err := s1.Dial(Endpoint{Addr: s2.Addr(), Port: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := <-accepted
+
+	// Push far more than the receive window without the server reading.
+	payload := make([]byte, 4*recvBufCap)
+	wrote := make(chan struct{})
+	go func() {
+		c.Write(payload)
+		close(wrote)
+	}()
+	time.Sleep(200 * time.Millisecond)
+	server.mu.Lock()
+	buffered := len(server.recvBuf)
+	server.mu.Unlock()
+	if buffered > recvBufCap {
+		t.Fatalf("receive buffer grew to %d, window is %d", buffered, recvBufCap)
+	}
+	// Draining the server lets the writer finish.
+	go io.Copy(io.Discard, server)
+	select {
+	case <-wrote:
+	case <-time.After(30 * time.Second):
+		t.Fatal("writer never completed after window opened")
+	}
+}
+
+func BenchmarkNetstackThroughput(b *testing.B) {
+	h := NewHub()
+	n1, _ := h.Attach(IP(10, 0, 0, 1))
+	n2, _ := h.Attach(IP(10, 0, 0, 2))
+	s1, s2 := NewStack(n1), NewStack(n2)
+	defer s1.Close()
+	defer s2.Close()
+	l, err := s2.Listen(7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 256*1024)
+		for {
+			if _, err := c.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	c, err := s1.Dial(Endpoint{Addr: s2.Addr(), Port: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	chunk := make([]byte, 64*1024)
+	b.SetBytes(int64(len(chunk)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Write(chunk); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

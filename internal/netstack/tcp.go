@@ -1,0 +1,531 @@
+package netstack
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"time"
+)
+
+// TCP tuning parameters.
+const (
+	// MSS is the maximum segment payload, derived from the link MTU.
+	MSS = MTU - tcpHeaderLen
+
+	// recvBufCap bounds the per-connection receive buffer; the free
+	// space is advertised as the window, making flow control real.
+	recvBufCap = 256 * 1024
+
+	// sendBufCap bounds unsent data queued by writers before Write blocks.
+	sendBufCap = 256 * 1024
+
+	// rto is the (fixed) retransmission timeout. The in-process hub has
+	// microsecond RTTs, so adaptive RTO would instantly floor anyway.
+	rto = 20 * time.Millisecond
+
+	// timeWait is the abbreviated TIME_WAIT linger.
+	timeWait = 50 * time.Millisecond
+)
+
+// Connection states (RFC 793 subset).
+type tcpState int
+
+const (
+	stClosed tcpState = iota
+	stListen
+	stSynSent
+	stSynRcvd
+	stEstablished
+	stFinWait1
+	stFinWait2
+	stCloseWait
+	stLastAck
+	stClosing
+	stTimeWait
+)
+
+func (s tcpState) String() string {
+	switch s {
+	case stClosed:
+		return "CLOSED"
+	case stListen:
+		return "LISTEN"
+	case stSynSent:
+		return "SYN_SENT"
+	case stSynRcvd:
+		return "SYN_RCVD"
+	case stEstablished:
+		return "ESTABLISHED"
+	case stFinWait1:
+		return "FIN_WAIT_1"
+	case stFinWait2:
+		return "FIN_WAIT_2"
+	case stCloseWait:
+		return "CLOSE_WAIT"
+	case stLastAck:
+		return "LAST_ACK"
+	case stClosing:
+		return "CLOSING"
+	case stTimeWait:
+		return "TIME_WAIT"
+	}
+	return "?"
+}
+
+// Errors surfaced to socket users.
+var (
+	ErrConnClosed   = errors.New("netstack: connection closed")
+	ErrConnReset    = errors.New("netstack: connection reset by peer")
+	ErrTimeout      = errors.New("netstack: operation timed out")
+	ErrRefused      = errors.New("netstack: connection refused")
+	ErrPortInUse    = errors.New("netstack: port already bound")
+	ErrStackClosed  = errors.New("netstack: stack closed")
+	ErrListenerDone = errors.New("netstack: listener closed")
+)
+
+// Conn is an established (or in-progress) TCP connection.
+type Conn struct {
+	stack    *Stack
+	local    Endpoint
+	remote   Endpoint
+	listener *Listener // set on passive-open connections
+
+	mu    sync.Mutex
+	cond  *sync.Cond // broadcast on every state/buffer change
+	state tcpState
+	err   error // terminal error, if reset
+
+	// Send side.
+	iss       uint32
+	sndUna    uint32 // oldest unacknowledged
+	sndNxt    uint32 // next sequence to send
+	sndWnd    uint32 // peer's advertised window
+	sendQ     []byte // queued, not yet sent
+	unacked   []byte // sent, awaiting ack (starts at sndUna)
+	finQueued bool   // FIN should be sent after sendQ drains
+	finSent   bool
+	finSeq    uint32
+
+	// Receive side.
+	rcvNxt  uint32
+	recvBuf []byte
+	ooSegs  map[uint32][]byte // out-of-order payloads keyed by seq
+	peerFIN bool              // FIN consumed; readers see EOF after buffer
+
+	retrans       *time.Timer
+	retransActive bool
+}
+
+func newConn(st *Stack, local, remote Endpoint, state tcpState, iss uint32) *Conn {
+	c := &Conn{
+		stack:  st,
+		local:  local,
+		remote: remote,
+		state:  state,
+		iss:    iss,
+		sndUna: iss,
+		sndNxt: iss,
+		sndWnd: recvBufCap,
+		ooSegs: make(map[uint32][]byte),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// LocalAddr returns the connection's local endpoint.
+func (c *Conn) LocalAddr() Endpoint { return c.local }
+
+// RemoteAddr returns the connection's remote endpoint.
+func (c *Conn) RemoteAddr() Endpoint { return c.remote }
+
+// window reports the receive window to advertise. Caller holds c.mu.
+func (c *Conn) window() uint16 {
+	free := recvBufCap - len(c.recvBuf)
+	if free < 0 {
+		free = 0
+	}
+	if free > 0xFFFF {
+		free = 0xFFFF
+	}
+	return uint16(free)
+}
+
+// sendSeg transmits a segment for this connection. Caller holds c.mu.
+func (c *Conn) sendSeg(flags uint8, seq uint32, payload []byte) {
+	s := &segment{
+		SrcPort: c.local.Port,
+		DstPort: c.remote.Port,
+		Seq:     seq,
+		Ack:     c.rcvNxt,
+		Flags:   flags,
+		Window:  c.window(),
+		Payload: payload,
+	}
+	c.stack.sendSegment(c.local.Addr, c.remote.Addr, s)
+}
+
+// armRetransmit (re)starts the retransmission timer. Caller holds c.mu.
+func (c *Conn) armRetransmit() {
+	c.retransActive = true
+	if c.retrans == nil {
+		c.retrans = time.AfterFunc(rto, c.onRetransmit)
+		return
+	}
+	c.retrans.Reset(rto)
+}
+
+// stopRetransmit cancels the timer. Caller holds c.mu.
+func (c *Conn) stopRetransmit() {
+	c.retransActive = false
+	if c.retrans != nil {
+		c.retrans.Stop()
+	}
+}
+
+// onRetransmit fires on RTO expiry: resend from sndUna.
+func (c *Conn) onRetransmit() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.retransActive {
+		return
+	}
+	switch c.state {
+	case stSynSent:
+		c.sendSeg(flagSYN, c.iss, nil)
+	case stSynRcvd:
+		c.sendSeg(flagSYN|flagACK, c.iss, nil)
+	default:
+		// Resend the first unacked chunk, then the FIN if it is the
+		// only outstanding item.
+		if len(c.unacked) > 0 {
+			n := len(c.unacked)
+			if n > MSS {
+				n = MSS
+			}
+			c.sendSeg(flagACK|flagPSH, c.sndUna, c.unacked[:n])
+		} else if c.finSent && seqLT(c.sndUna, c.sndNxt) {
+			c.sendSeg(flagFIN|flagACK, c.finSeq, nil)
+		}
+	}
+	if c.outstanding() {
+		c.armRetransmit()
+	}
+}
+
+// outstanding reports whether unacknowledged sequence space exists.
+// Caller holds c.mu.
+func (c *Conn) outstanding() bool {
+	return seqLT(c.sndUna, c.sndNxt)
+}
+
+// pump pushes queued data within the peer's window. Caller holds c.mu.
+func (c *Conn) pump() {
+	for len(c.sendQ) > 0 {
+		inflight := c.sndNxt - c.sndUna
+		if inflight >= c.sndWnd {
+			break
+		}
+		room := c.sndWnd - inflight
+		n := len(c.sendQ)
+		if uint32(n) > room {
+			n = int(room)
+		}
+		if n > MSS {
+			n = MSS
+		}
+		if n == 0 {
+			break
+		}
+		chunk := c.sendQ[:n]
+		c.sendSeg(flagACK|flagPSH, c.sndNxt, chunk)
+		c.unacked = append(c.unacked, chunk...)
+		c.sendQ = c.sendQ[n:]
+		c.sndNxt += uint32(n)
+	}
+	// Send the FIN once all data is out.
+	if c.finQueued && !c.finSent && len(c.sendQ) == 0 {
+		c.finSeq = c.sndNxt
+		c.sendSeg(flagFIN|flagACK, c.finSeq, nil)
+		c.sndNxt++
+		c.finSent = true
+	}
+	if c.outstanding() && !c.retransActive {
+		c.armRetransmit()
+	}
+}
+
+// Write queues p for transmission, blocking while the send buffer is
+// full. It returns once all of p is queued or sent.
+func (c *Conn) Write(p []byte) (int, error) {
+	written := 0
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for written < len(p) {
+		for c.err == nil && c.stateWritable() && len(c.sendQ) >= sendBufCap {
+			c.cond.Wait()
+		}
+		if c.err != nil {
+			return written, c.err
+		}
+		if !c.stateWritable() {
+			return written, ErrConnClosed
+		}
+		room := sendBufCap - len(c.sendQ)
+		n := len(p) - written
+		if n > room {
+			n = room
+		}
+		c.sendQ = append(c.sendQ, p[written:written+n]...)
+		written += n
+		c.pump()
+	}
+	return written, nil
+}
+
+// stateWritable reports whether the send direction is open. Caller holds c.mu.
+func (c *Conn) stateWritable() bool {
+	switch c.state {
+	case stEstablished, stCloseWait:
+		return !c.finQueued
+	}
+	return false
+}
+
+// Read copies received data into p, blocking until data, EOF or error.
+func (c *Conn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.recvBuf) == 0 {
+		if c.err != nil {
+			return 0, c.err
+		}
+		if c.peerFIN || c.state == stClosed {
+			return 0, io.EOF
+		}
+		c.cond.Wait()
+	}
+	wasZero := c.window() == 0
+	n := copy(p, c.recvBuf)
+	c.recvBuf = c.recvBuf[n:]
+	if wasZero && c.window() > 0 {
+		// Window reopened: tell the peer so it can resume sending.
+		c.sendSeg(flagACK, c.sndNxt, nil)
+	}
+	return n, nil
+}
+
+// Close shuts down the connection gracefully: pending data is flushed,
+// then a FIN is sent. Close does not wait for the peer's FIN.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch c.state {
+	case stClosed, stTimeWait, stLastAck, stFinWait1, stFinWait2, stClosing:
+		return nil
+	case stSynSent, stListen:
+		c.toClosed(nil)
+		return nil
+	case stEstablished, stSynRcvd:
+		c.state = stFinWait1
+	case stCloseWait:
+		c.state = stLastAck
+	}
+	c.finQueued = true
+	c.pump()
+	c.cond.Broadcast()
+	return nil
+}
+
+// toClosed finalises the connection and removes it from the stack's
+// demux table. Caller holds c.mu.
+func (c *Conn) toClosed(err error) {
+	if c.state == stClosed {
+		return
+	}
+	c.state = stClosed
+	if err != nil && c.err == nil {
+		c.err = err
+	}
+	c.stopRetransmit()
+	c.stack.removeConn(c)
+	c.cond.Broadcast()
+}
+
+// handleSegment is the per-connection input path. Caller must NOT hold c.mu.
+func (c *Conn) handleSegment(s *segment) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	if s.has(flagRST) {
+		c.toClosed(ErrConnReset)
+		return
+	}
+
+	switch c.state {
+	case stSynSent:
+		if s.has(flagSYN) && s.has(flagACK) && s.Ack == c.iss+1 {
+			c.sndUna = s.Ack
+			c.sndNxt = s.Ack
+			c.rcvNxt = s.Seq + 1
+			c.sndWnd = uint32(s.Window)
+			c.state = stEstablished
+			c.stopRetransmit()
+			c.sendSeg(flagACK, c.sndNxt, nil)
+			c.cond.Broadcast()
+		}
+		return
+	case stSynRcvd:
+		if s.has(flagACK) && s.Ack == c.iss+1 {
+			c.sndUna = s.Ack
+			c.sndNxt = s.Ack
+			c.sndWnd = uint32(s.Window)
+			c.state = stEstablished
+			c.stopRetransmit()
+			c.stack.deliverAccept(c)
+			c.cond.Broadcast()
+			// Fall through to process any piggybacked payload.
+		} else {
+			return
+		}
+	}
+
+	// ACK processing.
+	if s.has(flagACK) {
+		if seqLT(c.sndUna, s.Ack) && seqLEQ(s.Ack, c.sndNxt) {
+			acked := s.Ack - c.sndUna
+			dataAcked := acked
+			if c.finSent && s.Ack == c.finSeq+1 {
+				dataAcked-- // the FIN's sequence slot carries no data
+			}
+			if int(dataAcked) <= len(c.unacked) {
+				c.unacked = c.unacked[dataAcked:]
+			} else {
+				c.unacked = nil
+			}
+			c.sndUna = s.Ack
+			if c.outstanding() {
+				c.armRetransmit()
+			} else {
+				c.stopRetransmit()
+			}
+			// FIN acknowledged?
+			if c.finSent && s.Ack == c.finSeq+1 {
+				switch c.state {
+				case stFinWait1:
+					c.state = stFinWait2
+				case stClosing:
+					c.enterTimeWait()
+				case stLastAck:
+					c.toClosed(nil)
+				}
+			}
+			c.cond.Broadcast()
+		}
+		c.sndWnd = uint32(s.Window)
+		c.pump()
+	}
+
+	// Payload processing with in-order reassembly.
+	if len(s.Payload) > 0 {
+		c.ingest(s.Seq, s.Payload)
+	}
+
+	// FIN processing (only when it arrives in order).
+	if s.has(flagFIN) {
+		finSeq := s.Seq + uint32(len(s.Payload))
+		if finSeq == c.rcvNxt {
+			c.rcvNxt++
+			c.peerFIN = true
+			c.sendSeg(flagACK, c.sndNxt, nil)
+			switch c.state {
+			case stEstablished:
+				c.state = stCloseWait
+			case stFinWait1:
+				// Simultaneous close.
+				if c.finSent && c.sndUna == c.finSeq+1 {
+					c.enterTimeWait()
+				} else {
+					c.state = stClosing
+				}
+			case stFinWait2:
+				c.enterTimeWait()
+			}
+			c.cond.Broadcast()
+		} else if seqLT(finSeq, c.rcvNxt) {
+			// Duplicate FIN: re-ack.
+			c.sendSeg(flagACK, c.sndNxt, nil)
+		}
+	} else if len(s.Payload) > 0 {
+		// Ack received data promptly (no delayed-ack machinery).
+		c.sendSeg(flagACK, c.sndNxt, nil)
+	}
+}
+
+// ingest merges an incoming payload into the receive buffer, handling
+// duplicates and out-of-order arrival. Caller holds c.mu.
+func (c *Conn) ingest(seq uint32, payload []byte) {
+	// Trim any prefix we already have.
+	if seqLT(seq, c.rcvNxt) {
+		skip := c.rcvNxt - seq
+		if uint32(len(payload)) <= skip {
+			return // wholly duplicate
+		}
+		payload = payload[skip:]
+		seq = c.rcvNxt
+	}
+	if seq != c.rcvNxt {
+		// Out of order: stash for later (bounded by window).
+		if len(c.ooSegs) < 1024 {
+			buf := make([]byte, len(payload))
+			copy(buf, payload)
+			c.ooSegs[seq] = buf
+		}
+		return
+	}
+	// In order: respect the advertised window to bound memory.
+	free := recvBufCap - len(c.recvBuf)
+	if free <= 0 {
+		return // sender violated our window; drop
+	}
+	if len(payload) > free {
+		payload = payload[:free]
+	}
+	c.recvBuf = append(c.recvBuf, payload...)
+	c.rcvNxt += uint32(len(payload))
+	// Pull any contiguous out-of-order segments.
+	for {
+		next, ok := c.ooSegs[c.rcvNxt]
+		if !ok {
+			break
+		}
+		delete(c.ooSegs, c.rcvNxt)
+		free = recvBufCap - len(c.recvBuf)
+		if free <= 0 {
+			break
+		}
+		if len(next) > free {
+			next = next[:free]
+		}
+		c.recvBuf = append(c.recvBuf, next...)
+		c.rcvNxt += uint32(len(next))
+	}
+	c.cond.Broadcast()
+}
+
+// enterTimeWait schedules final teardown. Caller holds c.mu.
+func (c *Conn) enterTimeWait() {
+	c.state = stTimeWait
+	c.stopRetransmit()
+	time.AfterFunc(timeWait, func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		c.toClosed(nil)
+	})
+}
+
+// State returns the connection state name (diagnostics, tests).
+func (c *Conn) State() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state.String()
+}

@@ -1,0 +1,371 @@
+// Package ramfs is the in-memory hierarchical filesystem integrated into
+// as-libos. The paper uses it (§8.6, Figure 16) to factor the slow FAT
+// substrate out of end-to-end comparisons: when a WFD mounts ramfs, file
+// reads and writes are memory copies with no block layer underneath.
+package ramfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Errors returned by filesystem operations.
+var (
+	ErrNotExist = errors.New("ramfs: no such file or directory")
+	ErrExist    = errors.New("ramfs: file exists")
+	ErrIsDir    = errors.New("ramfs: is a directory")
+	ErrNotDir   = errors.New("ramfs: not a directory")
+	ErrNotEmpty = errors.New("ramfs: directory not empty")
+)
+
+// node is a file or directory.
+type node struct {
+	isDir    bool
+	data     []byte
+	children map[string]*node
+}
+
+// FS is an in-memory filesystem. Methods are safe for concurrent use.
+type FS struct {
+	mu   sync.RWMutex
+	root *node
+}
+
+// New returns an empty filesystem.
+func New() *FS {
+	return &FS{root: &node{isDir: true, children: make(map[string]*node)}}
+}
+
+func splitPath(p string) []string {
+	var parts []string
+	for _, c := range strings.Split(p, "/") {
+		if c != "" && c != "." {
+			parts = append(parts, c)
+		}
+	}
+	return parts
+}
+
+// walk resolves parts starting at the root; caller holds a lock.
+func (fs *FS) walk(parts []string) (*node, error) {
+	cur := fs.root
+	for _, name := range parts {
+		if !cur.isDir {
+			return nil, fmt.Errorf("%w: %s", ErrNotDir, name)
+		}
+		next, ok := cur.children[name]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrNotExist, name)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// resolveParent returns the parent directory node and base name of path.
+func (fs *FS) resolveParent(path string) (*node, string, error) {
+	parts := splitPath(path)
+	if len(parts) == 0 {
+		return nil, "", fmt.Errorf("%w: empty path", ErrNotExist)
+	}
+	dir, err := fs.walk(parts[:len(parts)-1])
+	if err != nil {
+		return nil, "", err
+	}
+	if !dir.isDir {
+		return nil, "", ErrNotDir
+	}
+	return dir, parts[len(parts)-1], nil
+}
+
+// Mkdir creates a directory; parents must exist.
+func (fs *FS) Mkdir(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	dir, name, err := fs.resolveParent(path)
+	if err != nil {
+		return err
+	}
+	if _, ok := dir.children[name]; ok {
+		return fmt.Errorf("%w: %s", ErrExist, path)
+	}
+	dir.children[name] = &node{isDir: true, children: make(map[string]*node)}
+	return nil
+}
+
+// MkdirAll creates path and any missing parents.
+func (fs *FS) MkdirAll(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	cur := fs.root
+	for _, name := range splitPath(path) {
+		next, ok := cur.children[name]
+		if !ok {
+			next = &node{isDir: true, children: make(map[string]*node)}
+			cur.children[name] = next
+		} else if !next.isDir {
+			return fmt.Errorf("%w: %s", ErrNotDir, name)
+		}
+		cur = next
+	}
+	return nil
+}
+
+// WriteFile creates or replaces a regular file with data. The slice is
+// copied; callers keep ownership of data.
+func (fs *FS) WriteFile(path string, data []byte) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	dir, name, err := fs.resolveParent(path)
+	if err != nil {
+		return err
+	}
+	if n, ok := dir.children[name]; ok && n.isDir {
+		return fmt.Errorf("%w: %s", ErrIsDir, path)
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	dir.children[name] = &node{data: buf}
+	return nil
+}
+
+// ReadFile returns a copy of the file's contents.
+func (fs *FS) ReadFile(path string) ([]byte, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	n, err := fs.walk(splitPath(path))
+	if err != nil {
+		return nil, err
+	}
+	if n.isDir {
+		return nil, fmt.Errorf("%w: %s", ErrIsDir, path)
+	}
+	out := make([]byte, len(n.data))
+	copy(out, n.data)
+	return out, nil
+}
+
+// View returns the file's contents without copying. The returned slice
+// must be treated as read-only; it is the ramfs analogue of the zero-copy
+// read path that makes Figure 16 comparisons fair.
+func (fs *FS) View(path string) ([]byte, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	n, err := fs.walk(splitPath(path))
+	if err != nil {
+		return nil, err
+	}
+	if n.isDir {
+		return nil, fmt.Errorf("%w: %s", ErrIsDir, path)
+	}
+	return n.data, nil
+}
+
+// Remove deletes a file or empty directory.
+func (fs *FS) Remove(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	dir, name, err := fs.resolveParent(path)
+	if err != nil {
+		return err
+	}
+	n, ok := dir.children[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotExist, path)
+	}
+	if n.isDir && len(n.children) > 0 {
+		return fmt.Errorf("%w: %s", ErrNotEmpty, path)
+	}
+	delete(dir.children, name)
+	return nil
+}
+
+// FileInfo describes one directory entry.
+type FileInfo struct {
+	Name  string
+	Size  int64
+	IsDir bool
+}
+
+// ReadDir lists the entries of a directory, sorted by name.
+func (fs *FS) ReadDir(path string) ([]FileInfo, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	n, err := fs.walk(splitPath(path))
+	if err != nil {
+		return nil, err
+	}
+	if !n.isDir {
+		return nil, fmt.Errorf("%w: %s", ErrNotDir, path)
+	}
+	out := make([]FileInfo, 0, len(n.children))
+	for name, c := range n.children {
+		out = append(out, FileInfo{Name: name, Size: int64(len(c.data)), IsDir: c.isDir})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Stat describes the entry at path.
+func (fs *FS) Stat(path string) (FileInfo, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	parts := splitPath(path)
+	if len(parts) == 0 {
+		return FileInfo{Name: "/", IsDir: true}, nil
+	}
+	n, err := fs.walk(parts)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	return FileInfo{Name: parts[len(parts)-1], Size: int64(len(n.data)), IsDir: n.isDir}, nil
+}
+
+// File is a positioned handle over a ramfs file, satisfying the handle
+// interface the fd table expects. Handles are not safe for concurrent use.
+type File struct {
+	fs   *FS
+	path string
+	pos  int64
+}
+
+// Open returns a handle onto an existing regular file.
+func (fs *FS) Open(path string) (*File, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	n, err := fs.walk(splitPath(path))
+	if err != nil {
+		return nil, err
+	}
+	if n.isDir {
+		return nil, fmt.Errorf("%w: %s", ErrIsDir, path)
+	}
+	return &File{fs: fs, path: path}, nil
+}
+
+// Create creates or truncates a regular file and returns a handle.
+func (fs *FS) Create(path string) (*File, error) {
+	if err := fs.WriteFile(path, nil); err != nil {
+		return nil, err
+	}
+	return &File{fs: fs, path: path}, nil
+}
+
+func (fs *FS) fileNode(path string) (*node, error) {
+	n, err := fs.walk(splitPath(path))
+	if err != nil {
+		return nil, err
+	}
+	if n.isDir {
+		return nil, ErrIsDir
+	}
+	return n, nil
+}
+
+// ReadAt reads from the file at offset off.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	f.fs.mu.RLock()
+	defer f.fs.mu.RUnlock()
+	n, err := f.fs.fileNode(f.path)
+	if err != nil {
+		return 0, err
+	}
+	if off >= int64(len(n.data)) {
+		return 0, io.EOF
+	}
+	c := copy(p, n.data[off:])
+	return c, nil
+}
+
+// WriteAt writes p at offset off, growing the file as needed.
+func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	n, err := f.fs.fileNode(f.path)
+	if err != nil {
+		return 0, err
+	}
+	if need := off + int64(len(p)); need > int64(len(n.data)) {
+		grown := make([]byte, need)
+		copy(grown, n.data)
+		n.data = grown
+	}
+	copy(n.data[off:], p)
+	return len(p), nil
+}
+
+// Read implements io.Reader.
+func (f *File) Read(p []byte) (int, error) {
+	n, err := f.ReadAt(p, f.pos)
+	f.pos += int64(n)
+	return n, err
+}
+
+// Write implements io.Writer.
+func (f *File) Write(p []byte) (int, error) {
+	n, err := f.WriteAt(p, f.pos)
+	f.pos += int64(n)
+	return n, err
+}
+
+// Seek sets the handle position.
+func (f *File) Seek(offset int64, whence int) (int64, error) {
+	f.fs.mu.RLock()
+	var size int64
+	if n, err := f.fs.fileNode(f.path); err == nil {
+		size = int64(len(n.data))
+	}
+	f.fs.mu.RUnlock()
+	var base int64
+	switch whence {
+	case io.SeekStart:
+	case io.SeekCurrent:
+		base = f.pos
+	case io.SeekEnd:
+		base = size
+	default:
+		return 0, fmt.Errorf("ramfs: bad whence %d", whence)
+	}
+	np := base + offset
+	if np < 0 {
+		return 0, errors.New("ramfs: negative seek")
+	}
+	f.pos = np
+	return np, nil
+}
+
+// Size returns the file's current size.
+func (f *File) Size() int64 {
+	f.fs.mu.RLock()
+	defer f.fs.mu.RUnlock()
+	n, err := f.fs.fileNode(f.path)
+	if err != nil {
+		return 0
+	}
+	return int64(len(n.data))
+}
+
+// Truncate resizes the file.
+func (f *File) Truncate(size int64) error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	n, err := f.fs.fileNode(f.path)
+	if err != nil {
+		return err
+	}
+	if size <= int64(len(n.data)) {
+		n.data = n.data[:size]
+		return nil
+	}
+	grown := make([]byte, size)
+	copy(grown, n.data)
+	n.data = grown
+	return nil
+}
+
+// Close releases the handle.
+func (f *File) Close() error { return nil }

@@ -1,0 +1,239 @@
+package ramfs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadFile(t *testing.T) {
+	fs := New()
+	if err := fs.WriteFile("a.txt", []byte("memory file")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fs.ReadFile("a.txt")
+	if err != nil || string(data) != "memory file" {
+		t.Fatalf("ReadFile = %q, %v", data, err)
+	}
+}
+
+func TestWriteFileCopiesInput(t *testing.T) {
+	fs := New()
+	src := []byte("original")
+	if err := fs.WriteFile("a.txt", src); err != nil {
+		t.Fatal(err)
+	}
+	src[0] = 'X'
+	data, _ := fs.ReadFile("a.txt")
+	if string(data) != "original" {
+		t.Fatalf("mutation of caller slice leaked into fs: %q", data)
+	}
+}
+
+func TestViewIsZeroCopy(t *testing.T) {
+	fs := New()
+	if err := fs.WriteFile("a.txt", []byte("shared")); err != nil {
+		t.Fatal(err)
+	}
+	v1, err := fs.View("a.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, _ := fs.View("a.txt")
+	if &v1[0] != &v2[0] {
+		t.Fatal("View returned distinct backing arrays; expected aliasing")
+	}
+}
+
+func TestDirectoryTree(t *testing.T) {
+	fs := New()
+	if err := fs.MkdirAll("a/b/c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("a/b/c/deep.txt", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	infos, err := fs.ReadDir("a/b")
+	if err != nil || len(infos) != 1 || infos[0].Name != "c" || !infos[0].IsDir {
+		t.Fatalf("ReadDir = %+v, %v", infos, err)
+	}
+	st, err := fs.Stat("a/b/c/deep.txt")
+	if err != nil || st.Size != 1 || st.IsDir {
+		t.Fatalf("Stat = %+v, %v", st, err)
+	}
+	if err := fs.Mkdir("a/b"); !errors.Is(err, ErrExist) {
+		t.Fatalf("Mkdir existing: %v", err)
+	}
+	if err := fs.Mkdir("missing/x"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("Mkdir without parent: %v", err)
+	}
+}
+
+func TestRemoveSemantics(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("d")
+	fs.WriteFile("d/f", []byte("x"))
+	if err := fs.Remove("d"); !errors.Is(err, ErrNotEmpty) {
+		t.Fatalf("remove non-empty: %v", err)
+	}
+	if err := fs.Remove("d/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("d"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("double remove: %v", err)
+	}
+}
+
+func TestFileHandleReadWriteSeek(t *testing.T) {
+	fs := New()
+	f, err := fs.Create("h.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Seek(6, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 5)
+	if _, err := io.ReadFull(f, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "world" {
+		t.Fatalf("seek+read = %q", got)
+	}
+	if _, err := f.Seek(-5, io.SeekEnd); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("WORLD")); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := fs.ReadFile("h.bin")
+	if string(data) != "hello WORLD" {
+		t.Fatalf("after overwrite = %q", data)
+	}
+}
+
+func TestFileGrowsOnWriteAt(t *testing.T) {
+	fs := New()
+	f, _ := fs.Create("g.bin")
+	if _, err := f.WriteAt([]byte("end"), 100); err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 103 {
+		t.Fatalf("Size = %d, want 103", f.Size())
+	}
+	data, _ := fs.ReadFile("g.bin")
+	if !bytes.Equal(data[:100], make([]byte, 100)) {
+		t.Fatal("gap not zero-filled")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	fs := New()
+	f, _ := fs.Create("t.bin")
+	f.Write([]byte("0123456789"))
+	if err := f.Truncate(4); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := fs.ReadFile("t.bin")
+	if string(data) != "0123" {
+		t.Fatalf("after shrink = %q", data)
+	}
+	if err := f.Truncate(8); err != nil {
+		t.Fatal(err)
+	}
+	data, _ = fs.ReadFile("t.bin")
+	if !bytes.Equal(data, []byte{'0', '1', '2', '3', 0, 0, 0, 0}) {
+		t.Fatalf("after grow = %v", data)
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("d")
+	if _, err := fs.Open("d"); !errors.Is(err, ErrIsDir) {
+		t.Fatalf("Open(dir): %v", err)
+	}
+	if _, err := fs.Open("nope"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("Open(missing): %v", err)
+	}
+	if _, err := fs.ReadFile("d"); !errors.Is(err, ErrIsDir) {
+		t.Fatalf("ReadFile(dir): %v", err)
+	}
+}
+
+func TestConcurrentAccessDistinctFiles(t *testing.T) {
+	fs := New()
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func(i int) {
+			name := string(rune('a'+i)) + ".bin"
+			payload := bytes.Repeat([]byte{byte(i)}, 1024)
+			for j := 0; j < 200; j++ {
+				if err := fs.WriteFile(name, payload); err != nil {
+					done <- err
+					return
+				}
+				got, err := fs.ReadFile(name)
+				if err != nil {
+					done <- err
+					return
+				}
+				if !bytes.Equal(got, payload) {
+					done <- errors.New("interleaved corruption")
+					return
+				}
+			}
+			done <- nil
+		}(i)
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// Property: a random sequence of writes through a handle matches an
+// in-memory model buffer.
+func TestPropertyHandleWritesMatchModel(t *testing.T) {
+	f := func(seed int64) bool {
+		fs := New()
+		h, err := fs.Create("m.bin")
+		if err != nil {
+			return false
+		}
+		r := rand.New(rand.NewSource(seed))
+		model := make([]byte, 0, 1<<16)
+		for i := 0; i < 50; i++ {
+			off := int64(r.Intn(30000))
+			data := make([]byte, r.Intn(2000))
+			r.Read(data)
+			if _, err := h.WriteAt(data, off); err != nil {
+				return false
+			}
+			if need := off + int64(len(data)); need > int64(len(model)) {
+				grown := make([]byte, need)
+				copy(grown, model)
+				model = grown
+			}
+			copy(model[off:], data)
+		}
+		got, err := fs.ReadFile("m.bin")
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,23 @@
+package scan
+
+import (
+	"alloystack/internal/asvm"
+	"alloystack/internal/workloads"
+)
+
+// guestPrograms returns the shipped benchmark guest images.
+func guestPrograms() map[string]*asvm.Program {
+	return map[string]*asvm.Program{
+		"noops":     workloads.NoopsGuest,
+		"pipe-send": workloads.PipeSendGuest,
+		"pipe-recv": workloads.PipeRecvGuest,
+		"chain":     workloads.ChainGuest,
+		"split":     workloads.SplitGuest,
+		"wc-map":    workloads.WcMapGuest,
+		"relay":     workloads.RelayGuest,
+		"wc-merge":  workloads.WcMergeGuest,
+		"ps-sort":   workloads.PsSortGuest,
+		"ps-verify": workloads.PsVerifyRelay,
+		"ps-final":  workloads.PsFinalGuest,
+	}
+}

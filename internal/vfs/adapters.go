@@ -1,0 +1,84 @@
+package vfs
+
+import (
+	"alloystack/internal/fatfs"
+	"alloystack/internal/ramfs"
+)
+
+// FatFS adapts a mounted FAT volume to the Filesystem contract.
+type FatFS struct {
+	FS *fatfs.FS
+}
+
+// Open implements Filesystem.
+func (a FatFS) Open(path string) (File, error) { return a.FS.Open(path) }
+
+// Create implements Filesystem.
+func (a FatFS) Create(path string) (File, error) { return a.FS.Create(path) }
+
+// Remove implements Filesystem.
+func (a FatFS) Remove(path string) error { return a.FS.Remove(path) }
+
+// Mkdir implements Filesystem.
+func (a FatFS) Mkdir(path string) error { return a.FS.Mkdir(path) }
+
+// Stat implements Filesystem.
+func (a FatFS) Stat(path string) (FileInfo, error) {
+	fi, err := a.FS.Stat(path)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	return FileInfo{Name: fi.Name, Size: fi.Size, IsDir: fi.IsDir}, nil
+}
+
+// ReadDir implements Filesystem.
+func (a FatFS) ReadDir(path string) ([]FileInfo, error) {
+	fis, err := a.FS.ReadDir(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]FileInfo, len(fis))
+	for i, fi := range fis {
+		out[i] = FileInfo{Name: fi.Name, Size: fi.Size, IsDir: fi.IsDir}
+	}
+	return out, nil
+}
+
+// RamFS adapts an in-memory filesystem to the Filesystem contract.
+type RamFS struct {
+	FS *ramfs.FS
+}
+
+// Open implements Filesystem.
+func (a RamFS) Open(path string) (File, error) { return a.FS.Open(path) }
+
+// Create implements Filesystem.
+func (a RamFS) Create(path string) (File, error) { return a.FS.Create(path) }
+
+// Remove implements Filesystem.
+func (a RamFS) Remove(path string) error { return a.FS.Remove(path) }
+
+// Mkdir implements Filesystem.
+func (a RamFS) Mkdir(path string) error { return a.FS.Mkdir(path) }
+
+// Stat implements Filesystem.
+func (a RamFS) Stat(path string) (FileInfo, error) {
+	fi, err := a.FS.Stat(path)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	return FileInfo{Name: fi.Name, Size: fi.Size, IsDir: fi.IsDir}, nil
+}
+
+// ReadDir implements Filesystem.
+func (a RamFS) ReadDir(path string) ([]FileInfo, error) {
+	fis, err := a.FS.ReadDir(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]FileInfo, len(fis))
+	for i, fi := range fis {
+		out[i] = FileInfo{Name: fi.Name, Size: fi.Size, IsDir: fi.IsDir}
+	}
+	return out, nil
+}

@@ -1,0 +1,330 @@
+// Package vfs provides the virtual filesystem switch and the per-WFD file
+// descriptor table that back the LibOS fdtab module. A WFD mounts one or
+// more filesystems (the FAT image carrying its inputs, a ramfs scratch
+// area) under path prefixes; user functions address files by path and fd,
+// never touching a filesystem implementation directly — the same shape as
+// the paper's fdtab/fatfs module split in Table 2.
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Errors returned by the VFS layer.
+var (
+	ErrNoMount   = errors.New("vfs: no filesystem mounted for path")
+	ErrBadFD     = errors.New("vfs: bad file descriptor")
+	ErrFDLimit   = errors.New("vfs: file descriptor limit reached")
+	ErrMountBusy = errors.New("vfs: mount point already in use")
+)
+
+// FileInfo describes a file or directory.
+type FileInfo struct {
+	Name  string
+	Size  int64
+	IsDir bool
+}
+
+// File is the handle contract every mounted filesystem must provide.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	ReadAt(p []byte, off int64) (int, error)
+	WriteAt(p []byte, off int64) (int, error)
+	Seek(offset int64, whence int) (int64, error)
+	Size() int64
+	Truncate(size int64) error
+}
+
+// Filesystem is the contract a mountable filesystem must satisfy. Both
+// internal/fatfs and internal/ramfs are adapted to it.
+type Filesystem interface {
+	Open(path string) (File, error)
+	Create(path string) (File, error)
+	Remove(path string) error
+	Mkdir(path string) error
+	Stat(path string) (FileInfo, error)
+	ReadDir(path string) ([]FileInfo, error)
+}
+
+// mount binds a path prefix to a filesystem.
+type mount struct {
+	prefix string // normalised, no trailing slash, "" = root
+	fs     Filesystem
+}
+
+// VFS routes paths to mounted filesystems. Safe for concurrent use.
+type VFS struct {
+	mu     sync.RWMutex
+	mounts []mount // sorted by descending prefix length (longest match wins)
+}
+
+// New returns an empty VFS.
+func New() *VFS { return &VFS{} }
+
+func normalize(p string) string {
+	p = strings.Trim(p, "/")
+	return p
+}
+
+// Mount binds fs at prefix ("/" or "" mounts at the root).
+func (v *VFS) Mount(prefix string, fs Filesystem) error {
+	prefix = normalize(prefix)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for _, m := range v.mounts {
+		if m.prefix == prefix {
+			return fmt.Errorf("%w: %q", ErrMountBusy, prefix)
+		}
+	}
+	v.mounts = append(v.mounts, mount{prefix: prefix, fs: fs})
+	sort.Slice(v.mounts, func(i, j int) bool {
+		return len(v.mounts[i].prefix) > len(v.mounts[j].prefix)
+	})
+	return nil
+}
+
+// Unmount removes the mount at prefix.
+func (v *VFS) Unmount(prefix string) error {
+	prefix = normalize(prefix)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for i, m := range v.mounts {
+		if m.prefix == prefix {
+			v.mounts = append(v.mounts[:i], v.mounts[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %q", ErrNoMount, prefix)
+}
+
+// route finds the longest-prefix mount for path and returns the
+// filesystem plus the path remainder inside it.
+func (v *VFS) route(path string) (Filesystem, string, error) {
+	p := normalize(path)
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	for _, m := range v.mounts {
+		if m.prefix == "" {
+			return m.fs, p, nil
+		}
+		if p == m.prefix {
+			return m.fs, "", nil
+		}
+		if strings.HasPrefix(p, m.prefix+"/") {
+			return m.fs, p[len(m.prefix)+1:], nil
+		}
+	}
+	return nil, "", fmt.Errorf("%w: %q", ErrNoMount, path)
+}
+
+// Open opens an existing file.
+func (v *VFS) Open(path string) (File, error) {
+	fs, rest, err := v.route(path)
+	if err != nil {
+		return nil, err
+	}
+	return fs.Open(rest)
+}
+
+// Create creates or truncates a file.
+func (v *VFS) Create(path string) (File, error) {
+	fs, rest, err := v.route(path)
+	if err != nil {
+		return nil, err
+	}
+	return fs.Create(rest)
+}
+
+// Remove deletes a file or empty directory.
+func (v *VFS) Remove(path string) error {
+	fs, rest, err := v.route(path)
+	if err != nil {
+		return err
+	}
+	return fs.Remove(rest)
+}
+
+// Mkdir creates a directory.
+func (v *VFS) Mkdir(path string) error {
+	fs, rest, err := v.route(path)
+	if err != nil {
+		return err
+	}
+	return fs.Mkdir(rest)
+}
+
+// Stat describes the entry at path.
+func (v *VFS) Stat(path string) (FileInfo, error) {
+	fs, rest, err := v.route(path)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	return fs.Stat(rest)
+}
+
+// ReadDir lists a directory.
+func (v *VFS) ReadDir(path string) ([]FileInfo, error) {
+	fs, rest, err := v.route(path)
+	if err != nil {
+		return nil, err
+	}
+	return fs.ReadDir(rest)
+}
+
+// FD is a file descriptor number inside one WFD.
+type FD int
+
+// FDTable maps descriptors to open files for one WFD — the state behind
+// the LibOS fdtab module's open/close/read/write interface. Safe for
+// concurrent use by the functions sharing the WFD.
+type FDTable struct {
+	vfs *VFS
+
+	mu    sync.Mutex
+	files map[FD]File
+	next  FD
+	limit int
+}
+
+// NewFDTable returns a table routing through v, allowing up to limit open
+// descriptors (0 means 1024, matching a typical default rlimit).
+func NewFDTable(v *VFS) *FDTable {
+	return &FDTable{vfs: v, files: make(map[FD]File), next: 3, limit: 1024}
+}
+
+// SetLimit overrides the open-descriptor limit.
+func (t *FDTable) SetLimit(n int) { t.limit = n }
+
+func (t *FDTable) install(f File) (FD, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.files) >= t.limit {
+		return -1, ErrFDLimit
+	}
+	fd := t.next
+	t.next++
+	t.files[fd] = f
+	return fd, nil
+}
+
+// Open opens path and installs the handle, returning its descriptor.
+func (t *FDTable) Open(path string) (FD, error) {
+	f, err := t.vfs.Open(path)
+	if err != nil {
+		return -1, err
+	}
+	return t.install(f)
+}
+
+// Create creates path and installs the handle.
+func (t *FDTable) Create(path string) (FD, error) {
+	f, err := t.vfs.Create(path)
+	if err != nil {
+		return -1, err
+	}
+	return t.install(f)
+}
+
+// get looks up the handle for fd.
+func (t *FDTable) get(fd FD) (File, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	f, ok := t.files[fd]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrBadFD, fd)
+	}
+	return f, nil
+}
+
+// Read reads from the descriptor's current position.
+func (t *FDTable) Read(fd FD, p []byte) (int, error) {
+	f, err := t.get(fd)
+	if err != nil {
+		return 0, err
+	}
+	return f.Read(p)
+}
+
+// Write writes at the descriptor's current position.
+func (t *FDTable) Write(fd FD, p []byte) (int, error) {
+	f, err := t.get(fd)
+	if err != nil {
+		return 0, err
+	}
+	return f.Write(p)
+}
+
+// ReadAt reads at an absolute offset.
+func (t *FDTable) ReadAt(fd FD, p []byte, off int64) (int, error) {
+	f, err := t.get(fd)
+	if err != nil {
+		return 0, err
+	}
+	return f.ReadAt(p, off)
+}
+
+// WriteAt writes at an absolute offset.
+func (t *FDTable) WriteAt(fd FD, p []byte, off int64) (int, error) {
+	f, err := t.get(fd)
+	if err != nil {
+		return 0, err
+	}
+	return f.WriteAt(p, off)
+}
+
+// Seek repositions the descriptor.
+func (t *FDTable) Seek(fd FD, offset int64, whence int) (int64, error) {
+	f, err := t.get(fd)
+	if err != nil {
+		return 0, err
+	}
+	return f.Seek(offset, whence)
+}
+
+// Size returns the size of the open file.
+func (t *FDTable) Size(fd FD) (int64, error) {
+	f, err := t.get(fd)
+	if err != nil {
+		return 0, err
+	}
+	return f.Size(), nil
+}
+
+// Close closes and removes the descriptor.
+func (t *FDTable) Close(fd FD) error {
+	t.mu.Lock()
+	f, ok := t.files[fd]
+	if ok {
+		delete(t.files, fd)
+	}
+	t.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrBadFD, fd)
+	}
+	return f.Close()
+}
+
+// CloseAll closes every open descriptor; used at WFD teardown.
+func (t *FDTable) CloseAll() {
+	t.mu.Lock()
+	files := t.files
+	t.files = make(map[FD]File)
+	t.mu.Unlock()
+	for _, f := range files {
+		f.Close()
+	}
+}
+
+// OpenCount reports the number of live descriptors.
+func (t *FDTable) OpenCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.files)
+}

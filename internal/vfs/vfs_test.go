@@ -1,0 +1,279 @@
+package vfs
+
+import (
+	"errors"
+	"io"
+	"testing"
+
+	"alloystack/internal/blockdev"
+	"alloystack/internal/fatfs"
+	"alloystack/internal/ramfs"
+)
+
+func newFatMount(t *testing.T) FatFS {
+	t.Helper()
+	fs, err := fatfs.Format(blockdev.NewMemDisk(4<<20), fatfs.MkfsOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return FatFS{FS: fs}
+}
+
+func TestMountRouting(t *testing.T) {
+	v := New()
+	rfs := ramfs.New()
+	if err := v.Mount("/", RamFS{FS: rfs}); err != nil {
+		t.Fatal(err)
+	}
+	fat := newFatMount(t)
+	if err := v.Mount("/disk", fat); err != nil {
+		t.Fatal(err)
+	}
+
+	// Root mount serves ordinary paths.
+	f, err := v.Create("/scratch.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("in ram"))
+	f.Close()
+	if _, err := rfs.ReadFile("scratch.txt"); err != nil {
+		t.Fatalf("file did not land in ramfs: %v", err)
+	}
+
+	// Longest-prefix mount wins.
+	f, err = v.Create("/disk/img.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("on fat"))
+	f.Close()
+	if _, err := fat.FS.ReadFile("img.bin"); err != nil {
+		t.Fatalf("file did not land in fatfs: %v", err)
+	}
+	if _, err := rfs.ReadFile("disk/img.bin"); err == nil {
+		t.Fatal("file leaked into the root mount")
+	}
+}
+
+func TestNoMount(t *testing.T) {
+	v := New()
+	fat := newFatMount(t)
+	if err := v.Mount("/disk", fat); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Open("/elsewhere/f.txt"); !errors.Is(err, ErrNoMount) {
+		t.Fatalf("unrouted path: err = %v, want ErrNoMount", err)
+	}
+	// Prefix must match on path-component boundaries.
+	if _, err := v.Open("/diskette/f.txt"); !errors.Is(err, ErrNoMount) {
+		t.Fatalf("partial-component prefix matched: %v", err)
+	}
+}
+
+func TestDuplicateMountRejected(t *testing.T) {
+	v := New()
+	if err := v.Mount("/m", RamFS{FS: ramfs.New()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Mount("/m", RamFS{FS: ramfs.New()}); !errors.Is(err, ErrMountBusy) {
+		t.Fatalf("duplicate mount: err = %v, want ErrMountBusy", err)
+	}
+}
+
+func TestUnmount(t *testing.T) {
+	v := New()
+	if err := v.Mount("/m", RamFS{FS: ramfs.New()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Unmount("/m"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Open("/m/f"); !errors.Is(err, ErrNoMount) {
+		t.Fatalf("open after unmount: %v", err)
+	}
+	if err := v.Unmount("/m"); !errors.Is(err, ErrNoMount) {
+		t.Fatalf("double unmount: %v", err)
+	}
+}
+
+func TestVFSDirOps(t *testing.T) {
+	v := New()
+	if err := v.Mount("/", RamFS{FS: ramfs.New()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Mkdir("/data"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := v.Create("/data/a.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("abc"))
+	f.Close()
+	infos, err := v.ReadDir("/data")
+	if err != nil || len(infos) != 1 || infos[0].Name != "a.txt" {
+		t.Fatalf("ReadDir = %+v, %v", infos, err)
+	}
+	st, err := v.Stat("/data/a.txt")
+	if err != nil || st.Size != 3 {
+		t.Fatalf("Stat = %+v, %v", st, err)
+	}
+	if err := v.Remove("/data/a.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Open("/data/a.txt"); err == nil {
+		t.Fatal("open removed file succeeded")
+	}
+}
+
+func TestFDTableLifecycle(t *testing.T) {
+	v := New()
+	if err := v.Mount("/", RamFS{FS: ramfs.New()}); err != nil {
+		t.Fatal(err)
+	}
+	tab := NewFDTable(v)
+
+	fd, err := tab.Create("/f.bin")
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if fd < 3 {
+		t.Fatalf("fd = %d, want >= 3 (0-2 reserved for stdio)", fd)
+	}
+	if n, err := tab.Write(fd, []byte("descriptor data")); n != 15 || err != nil {
+		t.Fatalf("Write = %d, %v", n, err)
+	}
+	if _, err := tab.Seek(fd, 0, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 10)
+	if n, err := tab.Read(fd, buf); n != 10 || err != nil {
+		t.Fatalf("Read = %d, %v", n, err)
+	}
+	if string(buf) != "descriptor" {
+		t.Fatalf("read = %q", buf)
+	}
+	size, err := tab.Size(fd)
+	if err != nil || size != 15 {
+		t.Fatalf("Size = %d, %v", size, err)
+	}
+	if err := tab.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.Read(fd, buf); !errors.Is(err, ErrBadFD) {
+		t.Fatalf("read after close: err = %v, want ErrBadFD", err)
+	}
+	if err := tab.Close(fd); !errors.Is(err, ErrBadFD) {
+		t.Fatalf("double close: err = %v, want ErrBadFD", err)
+	}
+}
+
+func TestFDTableDistinctPositions(t *testing.T) {
+	v := New()
+	rfs := ramfs.New()
+	if err := v.Mount("/", RamFS{FS: rfs}); err != nil {
+		t.Fatal(err)
+	}
+	rfs.WriteFile("shared.txt", []byte("0123456789"))
+	tab := NewFDTable(v)
+	fd1, _ := tab.Open("/shared.txt")
+	fd2, _ := tab.Open("/shared.txt")
+	b1 := make([]byte, 4)
+	tab.Read(fd1, b1)
+	b2 := make([]byte, 4)
+	tab.Read(fd2, b2)
+	if string(b1) != "0123" || string(b2) != "0123" {
+		t.Fatalf("independent positions broken: %q %q", b1, b2)
+	}
+}
+
+func TestFDLimit(t *testing.T) {
+	v := New()
+	rfs := ramfs.New()
+	v.Mount("/", RamFS{FS: rfs})
+	rfs.WriteFile("f", []byte("x"))
+	tab := NewFDTable(v)
+	tab.SetLimit(2)
+	if _, err := tab.Open("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.Open("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.Open("/f"); !errors.Is(err, ErrFDLimit) {
+		t.Fatalf("over-limit open: err = %v, want ErrFDLimit", err)
+	}
+}
+
+func TestCloseAll(t *testing.T) {
+	v := New()
+	rfs := ramfs.New()
+	v.Mount("/", RamFS{FS: rfs})
+	rfs.WriteFile("f", []byte("x"))
+	tab := NewFDTable(v)
+	for i := 0; i < 5; i++ {
+		if _, err := tab.Open("/f"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tab.OpenCount() != 5 {
+		t.Fatalf("OpenCount = %d", tab.OpenCount())
+	}
+	tab.CloseAll()
+	if tab.OpenCount() != 0 {
+		t.Fatalf("OpenCount after CloseAll = %d", tab.OpenCount())
+	}
+}
+
+func TestFatThroughVFSLargeFile(t *testing.T) {
+	v := New()
+	fat := newFatMount(t)
+	if err := v.Mount("/", fat); err != nil {
+		t.Fatal(err)
+	}
+	tab := NewFDTable(v)
+	fd, err := tab.Create("/big.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 100_000)
+	for i := range payload {
+		payload[i] = byte(i % 251)
+	}
+	if _, err := tab.Write(fd, payload); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(payload))
+	if _, err := tab.ReadAt(fd, got, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != payload[i] {
+			t.Fatalf("byte %d mismatch", i)
+		}
+	}
+}
+
+func BenchmarkFDTableReadWrite(b *testing.B) {
+	v := New()
+	if err := v.Mount("/", RamFS{FS: ramfs.New()}); err != nil {
+		b.Fatal(err)
+	}
+	tab := NewFDTable(v)
+	fd, err := tab.Create("/bench.bin")
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tab.WriteAt(fd, buf, 0); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tab.ReadAt(fd, buf, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

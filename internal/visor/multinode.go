@@ -1,0 +1,155 @@
+package visor
+
+import (
+	"errors"
+	"fmt"
+
+	"alloystack/internal/asstd"
+	"alloystack/internal/dag"
+	"alloystack/internal/libos"
+)
+
+// This file implements the paper's §9 distributed/multi-node setting:
+// workflows too large for one node are split at a stage boundary into
+// subgraph workflows, each running in its own WFD on its own node, with
+// the crossing intermediate data moved by traditional transfer (the
+// paper: "developers can manually divide the DAG and run the workflow
+// using traditional intermediate data transfer methods").
+//
+// The mechanism is slot bridging: RunOptions.ExportSlots names AsBuffer
+// slots whose contents the visor extracts after the last stage;
+// RunOptions.ImportSlots pre-registers buffers before the first stage.
+// A coordinator runs the front subgraph, ships the exported slots across
+// the network (any transport — examples use the kvstore), and runs the
+// back subgraph with those slots imported.
+
+// SplitAt cuts w at a stage boundary: front holds every function whose
+// stage index is < cut, back holds the rest with their cross-boundary
+// dependencies dropped (they become stage-0 roots fed by imported slots).
+func SplitAt(w *dag.Workflow, cut int) (front, back *dag.Workflow, err error) {
+	stages, err := w.Stages()
+	if err != nil {
+		return nil, nil, err
+	}
+	if cut <= 0 || cut >= len(stages) {
+		return nil, nil, fmt.Errorf("visor: cut %d out of range (1..%d)", cut, len(stages)-1)
+	}
+	stageOf := make(map[string]int)
+	for si, stage := range stages {
+		for _, f := range stage {
+			stageOf[f.Name] = si
+		}
+	}
+	front = &dag.Workflow{Name: w.Name + "-front"}
+	back = &dag.Workflow{Name: w.Name + "-back"}
+	for _, f := range w.Functions {
+		if stageOf[f.Name] < cut {
+			front.Functions = append(front.Functions, f)
+			continue
+		}
+		nf := f
+		nf.DependsOn = nil
+		for _, d := range f.DependsOn {
+			if stageOf[d] >= cut {
+				nf.DependsOn = append(nf.DependsOn, d)
+			}
+		}
+		back.Functions = append(back.Functions, nf)
+	}
+	if err := front.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("visor: front subgraph: %w", err)
+	}
+	if err := back.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("visor: back subgraph: %w", err)
+	}
+	return front, back, nil
+}
+
+// CrossSlots enumerates the candidate AsBuffer slots crossing the cut,
+// using the Slot naming convention for every (instance, instance) pair of
+// each crossing edge. Workloads that only populate a subset of pairs are
+// fine: export skips slots that were never registered.
+func CrossSlots(w *dag.Workflow, cut int) ([]string, error) {
+	stages, err := w.Stages()
+	if err != nil {
+		return nil, err
+	}
+	if cut <= 0 || cut >= len(stages) {
+		return nil, fmt.Errorf("visor: cut %d out of range", cut)
+	}
+	stageOf := make(map[string]int)
+	instOf := make(map[string]int)
+	for si, stage := range stages {
+		for _, f := range stage {
+			stageOf[f.Name] = si
+			instOf[f.Name] = f.InstancesOf()
+		}
+	}
+	var slots []string
+	for _, f := range w.Functions {
+		if stageOf[f.Name] < cut {
+			continue
+		}
+		for _, d := range f.DependsOn {
+			if stageOf[d] >= cut {
+				continue
+			}
+			for i := 0; i < instOf[d]; i++ {
+				for j := 0; j < instOf[f.Name]; j++ {
+					slots = append(slots, Slot(d, i, f.Name, j))
+				}
+			}
+		}
+	}
+	return slots, nil
+}
+
+// exportSlots drains the named slots out of the WFD into plain byte
+// slices (copies: the data is leaving the address space).
+func exportSlots(wfd wfdRunner, slots []string) (map[string][]byte, error) {
+	out := make(map[string][]byte)
+	err := wfd.Run("__bridge-export", func(env *asstd.Env) error {
+		for _, slot := range slots {
+			b, err := asstd.FromSlot(env, slot)
+			if err != nil {
+				if errors.Is(err, libos.ErrSlotMissing) {
+					continue // candidate pair the workload never used
+				}
+				return err
+			}
+			data := make([]byte, len(b.Bytes()))
+			copy(data, b.Bytes())
+			out[slot] = data
+			if err := b.Free(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	return out, err
+}
+
+// importSlots registers incoming intermediate data as AsBuffers before
+// the subgraph's functions run.
+func importSlots(wfd wfdRunner, slots map[string][]byte) error {
+	return wfd.Run("__bridge-import", func(env *asstd.Env) error {
+		for slot, data := range slots {
+			size := uint64(len(data))
+			if size == 0 {
+				size = 1
+			}
+			b, err := asstd.NewBuffer(env, slot, size)
+			if err != nil {
+				return err
+			}
+			copy(b.Bytes(), data)
+		}
+		return nil
+	})
+}
+
+// wfdRunner is the subset of core.WFD the bridge needs (kept as an
+// interface so tests can fake it).
+type wfdRunner interface {
+	Run(name string, fn func(env *asstd.Env) error) error
+}

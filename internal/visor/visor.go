@@ -1,0 +1,456 @@
+// Package visor implements as-visor, AlloyStack's global runtime layer
+// (paper §3.3): the watchdog that receives invocation events, the
+// orchestrator that instantiates a WFD per workflow invocation and runs
+// its function instances in stage order, and the registry binding
+// function names to their implementations in each language tier.
+package visor
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"alloystack/internal/asstd"
+	"alloystack/internal/asvm"
+	"alloystack/internal/blockdev"
+	"alloystack/internal/core"
+	"alloystack/internal/dag"
+	"alloystack/internal/metrics"
+	"alloystack/internal/netstack"
+	"alloystack/internal/ramfs"
+)
+
+// Errors returned by the visor.
+var (
+	ErrUnknownFunction = errors.New("visor: function not registered")
+	ErrUnknownWorkflow = errors.New("visor: workflow not registered")
+)
+
+// FuncContext is the runtime information handed to each function
+// instance: which workflow/function/instance it is and the workflow's
+// parameters. Slot naming helpers give fan-out and fan-in a convention.
+type FuncContext struct {
+	Workflow  string
+	Function  string
+	Instance  int // 0-based index among this function's instances
+	Instances int // total parallel instances of this function
+	Stage     int
+	Params    map[string]string
+}
+
+// Param fetches a workflow parameter with a default.
+func (c FuncContext) Param(key, def string) string {
+	if v, ok := c.Params[key]; ok {
+		return v
+	}
+	return def
+}
+
+// ParamInt fetches an integer parameter with a default.
+func (c FuncContext) ParamInt(key string, def int64) int64 {
+	if v, ok := c.Params[key]; ok {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			return n
+		}
+	}
+	return def
+}
+
+// Slot builds a namespaced AsBuffer slot: "fn:i->fn:j" style keys keep
+// fan-out edges distinct inside the WFD (paper §5's slot parameter).
+func Slot(from string, fromIdx int, to string, toIdx int) string {
+	return fmt.Sprintf("%s:%d->%s:%d", from, fromIdx, to, toIdx)
+}
+
+// NativeFunc is a native-tier (≈Rust) function body.
+type NativeFunc func(env *asstd.Env, ctx FuncContext) error
+
+// VMFunc is a guest-tier function: an ASVM program plus engine config.
+type VMFunc struct {
+	Prog  *asvm.Program
+	Entry string
+	// Args builds the entry-point arguments from the context.
+	Args func(ctx FuncContext) []int64
+	// Engine/OverheadFactor select the runtime model: AOT+1.3 for the
+	// AlloyStack-C tier (Wasmtime), AOT+1.0 for Faasm-C (WAVM),
+	// interpreter for the Python tier.
+	Engine         asvm.EngineKind
+	OverheadFactor float64
+	// RuntimeImage, when set, is a file read through the LibOS
+	// filesystem before execution — the Python-runtime initialisation
+	// cost the paper identifies as the AS-Py bottleneck.
+	RuntimeImage string
+	// InitCost is the calibrated runtime-bootstrap work beyond the
+	// image read (interpreter startup, module import machinery); it is
+	// scaled by the run's CostScale.
+	InitCost time.Duration
+	// InSlots/OutSlots resolve the guest's logical edges to AsBuffer
+	// slot names for the slot_send/slot_recv host calls.
+	InSlots  func(ctx FuncContext) []string
+	OutSlots func(ctx FuncContext) []string
+}
+
+// Registry maps (function, language) to an implementation.
+type Registry struct {
+	mu     sync.RWMutex
+	native map[string]NativeFunc
+	vm     map[string]VMFunc
+}
+
+// NewRegistry returns an empty function registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		native: make(map[string]NativeFunc),
+		vm:     make(map[string]VMFunc),
+	}
+}
+
+// RegisterNative binds a native-tier implementation.
+func (r *Registry) RegisterNative(name string, fn NativeFunc) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.native[name] = fn
+}
+
+// RegisterVM binds a guest-tier implementation under name+language.
+func (r *Registry) RegisterVM(name, language string, vf VMFunc) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.vm[name+"/"+language] = vf
+}
+
+func (r *Registry) lookup(name, language string) (NativeFunc, *VMFunc, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	// Generic implementations register a base name and serve every
+	// node derived from it ("chain-7" -> "chain"); the instance learns
+	// its position from the context.
+	candidates := []string{name}
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		candidates = append(candidates, name[:i])
+	}
+	if language == "" || language == "native" {
+		for _, c := range candidates {
+			if fn, ok := r.native[c]; ok {
+				return fn, nil, nil
+			}
+		}
+		return nil, nil, fmt.Errorf("%w: %s (native)", ErrUnknownFunction, name)
+	}
+	for _, c := range candidates {
+		if vf, ok := r.vm[c+"/"+language]; ok {
+			return nil, &vf, nil
+		}
+	}
+	return nil, nil, fmt.Errorf("%w: %s (%s)", ErrUnknownFunction, name, language)
+}
+
+// RunOptions configure one workflow invocation.
+type RunOptions struct {
+	// OnDemand / IFI / CostScale / MemLimit map directly onto the WFD
+	// options (see core.Options).
+	OnDemand  bool
+	IFI       bool
+	CostScale float64
+	MemLimit  uint64
+	// BufHeapSize bounds the intermediate-data heap.
+	BufHeapSize uint64
+
+	// DiskImage supplies the WFD's input filesystem image (already
+	// populated by the workload's setup phase). May be nil.
+	DiskImage blockdev.Device
+	// UseRamfs/Ramfs run the Figure 16 in-memory-filesystem mode.
+	UseRamfs bool
+	Ramfs    *ramfs.FS
+
+	// Hub/IP attach the WFD to the virtual network when set.
+	Hub *netstack.Hub
+	IP  netstack.Addr
+
+	// Stdout captures function console output.
+	Stdout io.Writer
+
+	// RefPassing selects AsBuffer reference passing for intermediate
+	// data (the AlloyStack default). Workload implementations consult
+	// it to fall back to file-mediated transfer for the Figure 14
+	// ablation ("when reference passing is disabled, AlloyStack uses
+	// files as an intermediary mechanism").
+	RefPassing bool
+
+	// MaxRetries restarts a function instance that faults (panics) up
+	// to this many extra times, provided the WFD survived — the paper's
+	// §3.1 retry-based fault tolerance for idempotent functions.
+	MaxRetries int
+
+	// ImportSlots pre-registers intermediate data before the first
+	// stage; ExportSlots drains slots after the last stage (multi-node
+	// bridging, §9 — see SplitAt/CrossSlots).
+	ImportSlots map[string][]byte
+	ExportSlots []string
+}
+
+// DefaultRunOptions are the paper's standard AlloyStack configuration.
+func DefaultRunOptions() RunOptions {
+	return RunOptions{
+		OnDemand:   true,
+		RefPassing: true,
+		CostScale:  1.0,
+	}
+}
+
+// RunResult summarises one workflow invocation.
+type RunResult struct {
+	E2E       time.Duration
+	ColdStart time.Duration
+	// Stages is the per-stage wall time in order.
+	Stages []time.Duration
+	// Clock aggregates the read-input/compute/transfer/wait breakdown.
+	Clock *metrics.StageClock
+	// MemPeak is the WFD's peak mapped memory.
+	MemPeak uint64
+	// Crossings counts MPK domain crossings across all functions.
+	Crossings uint64
+	// Retries counts function restarts absorbed by fault tolerance.
+	Retries int
+	// Exports carries the drained ExportSlots data (multi-node bridge).
+	Exports map[string][]byte
+}
+
+// Visor drives workflow execution on one node.
+type Visor struct {
+	Funcs *Registry
+
+	mu        sync.RWMutex
+	workflows map[string]*dag.Workflow
+}
+
+// New returns a visor with the given function registry.
+func New(funcs *Registry) *Visor {
+	return &Visor{Funcs: funcs, workflows: make(map[string]*dag.Workflow)}
+}
+
+// RegisterWorkflow binds a workflow definition to its invocation name.
+func (v *Visor) RegisterWorkflow(w *dag.Workflow) error {
+	if err := w.Validate(); err != nil {
+		return err
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.workflows[w.Name] = w
+	return nil
+}
+
+// Workflow retrieves a registered workflow.
+func (v *Visor) Workflow(name string) (*dag.Workflow, error) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	w, ok := v.workflows[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownWorkflow, name)
+	}
+	return w, nil
+}
+
+// Invoke runs a registered workflow by name.
+func (v *Visor) Invoke(name string, opts RunOptions) (*RunResult, error) {
+	w, err := v.Workflow(name)
+	if err != nil {
+		return nil, err
+	}
+	return v.RunWorkflow(w, opts)
+}
+
+// RunWorkflow executes one invocation of w: instantiate the WFD, run the
+// DAG stage by stage with a barrier between stages, destroy the WFD.
+// This is steps ①-⑦ of Figure 4.
+func (v *Visor) RunWorkflow(w *dag.Workflow, opts RunOptions) (*RunResult, error) {
+	stages, err := w.Stages()
+	if err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	wfd, err := core.Instantiate(core.Options{
+		MemLimit:    opts.MemLimit,
+		BufHeapSize: opts.BufHeapSize,
+		DiskImage:   opts.DiskImage,
+		UseRamfs:    opts.UseRamfs,
+		Ramfs:       opts.Ramfs,
+		Hub:         opts.Hub,
+		IP:          opts.IP,
+		Stdout:      opts.Stdout,
+		OnDemand:    opts.OnDemand,
+		IFI:         opts.IFI,
+		CostScale:   opts.CostScale,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer wfd.Destroy()
+
+	res := &RunResult{ColdStart: wfd.ColdStart, Clock: metrics.NewStageClock()}
+
+	if len(opts.ImportSlots) > 0 {
+		if err := importSlots(wfd, opts.ImportSlots); err != nil {
+			return nil, fmt.Errorf("visor: import slots: %w", err)
+		}
+	}
+
+	var retryMu sync.Mutex
+	// Guest runtime bootstrap (e.g. the Python interpreter) happens once
+	// per WFD: the single address space shares the initialised runtime
+	// across function instances, unlike per-module isolation. Image
+	// *reads* still happen per instance (the paper's §8.5 file-reading
+	// bottleneck at higher instance counts).
+	var runtimeInit sync.Map
+
+	for si, stage := range stages {
+		stageStart := time.Now()
+		var wg sync.WaitGroup
+		errCh := make(chan error, 64)
+		var doneMu sync.Mutex
+		var firstDone, lastDone time.Time
+
+		for _, spec := range stage {
+			native, vm, err := v.Funcs.lookup(spec.Name, spec.Language)
+			if err != nil {
+				return nil, err
+			}
+			// Propagate run-level knobs into the function parameters so
+			// workload code can honour the reference-passing ablation.
+			params := make(map[string]string, len(spec.Params)+1)
+			for k, val := range spec.Params {
+				params[k] = val
+			}
+			if opts.RefPassing {
+				params["__refpass"] = "1"
+			} else {
+				params["__refpass"] = "0"
+			}
+			n := spec.InstancesOf()
+			for i := 0; i < n; i++ {
+				ctx := FuncContext{
+					Workflow:  w.Name,
+					Function:  spec.Name,
+					Instance:  i,
+					Instances: n,
+					Stage:     si,
+					Params:    params,
+				}
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					body := func(env *asstd.Env) error {
+						env.Clock = res.Clock
+						if native != nil {
+							return native(env, ctx)
+						}
+						return runVM(env, ctx, *vm, opts.CostScale, &runtimeInit)
+					}
+					// Fault tolerance (§3.1): restart the failed
+					// function while the WFD and its intermediate data
+					// are intact. Only faults (panics) are retried;
+					// ordinary errors are programming results.
+					var ferr error
+					for attempt := 0; ; attempt++ {
+						ferr = wfd.Run(ctx.Function, body)
+						if ferr == nil || attempt >= opts.MaxRetries ||
+							!errors.Is(ferr, core.ErrFunctionFault) {
+							break
+						}
+						retryMu.Lock()
+						res.Retries++
+						retryMu.Unlock()
+					}
+					doneMu.Lock()
+					now := time.Now()
+					if firstDone.IsZero() {
+						firstDone = now
+					}
+					lastDone = now
+					doneMu.Unlock()
+					if ferr != nil {
+						errCh <- ferr
+					}
+				}()
+			}
+		}
+		wg.Wait()
+		close(errCh)
+		for ferr := range errCh {
+			return nil, fmt.Errorf("visor: stage %d: %w", si, ferr)
+		}
+		// Fan-in synchronisation wait: faster instances idle until the
+		// slowest finishes (the unhatched area of Figure 15).
+		if !firstDone.IsZero() {
+			res.Clock.Add(metrics.StageWait, lastDone.Sub(firstDone))
+		}
+		res.Stages = append(res.Stages, time.Since(stageStart))
+	}
+
+	if len(opts.ExportSlots) > 0 {
+		exports, err := exportSlots(wfd, opts.ExportSlots)
+		if err != nil {
+			return nil, fmt.Errorf("visor: export slots: %w", err)
+		}
+		res.Exports = exports
+	}
+
+	res.MemPeak = wfd.MemoryUsage()
+	res.E2E = time.Since(start)
+	return res, nil
+}
+
+// runVM executes a guest-tier function: instantiate the ASVM module with
+// the WASI bindings over this env, optionally paying the runtime-image
+// initialisation read, then call the entry point.
+func runVM(env *asstd.Env, ctx FuncContext, vf VMFunc, costScale float64, runtimeInit *sync.Map) error {
+	if vf.RuntimeImage != "" {
+		// Python-tier runtime init: stream the runtime image through
+		// the LibOS filesystem (the paper's AS-Py startup bottleneck).
+		if err := asstd.MountFS(env); err != nil {
+			return err
+		}
+		if _, err := asstd.ReadFile(env, vf.RuntimeImage); err != nil {
+			return fmt.Errorf("visor: runtime image: %w", err)
+		}
+	}
+	if vf.InitCost > 0 && costScale > 0 {
+		// Interpreter bootstrap happens once per WFD (shared address
+		// space); later instances find the runtime already initialised.
+		first := true
+		if runtimeInit != nil {
+			_, loaded := runtimeInit.LoadOrStore(vf.RuntimeImage, true)
+			first = !loaded
+		}
+		if first {
+			time.Sleep(time.Duration(float64(vf.InitCost) * costScale))
+		}
+	}
+	l := asvm.NewLinker()
+	var in, out []string
+	if vf.InSlots != nil {
+		in = vf.InSlots(ctx)
+	}
+	if vf.OutSlots != nil {
+		out = vf.OutSlots(ctx)
+	}
+	asstd.BindWASISlots(l, env, in, out)
+	inst, err := l.Instantiate(vf.Prog, asvm.Config{
+		Engine:         vf.Engine,
+		OverheadFactor: vf.OverheadFactor,
+	})
+	if err != nil {
+		return err
+	}
+	args := []int64{int64(ctx.Instance), int64(ctx.Instances)}
+	if vf.Args != nil {
+		args = vf.Args(ctx)
+	}
+	_, err = inst.Call(vf.Entry, args...)
+	return err
+}

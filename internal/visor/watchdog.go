@@ -1,0 +1,134 @@
+package visor
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Watchdog is the HTTP server that listens for external invocation
+// events and triggers workflow execution (paper §3.3: "the watchdog is
+// an HTTP server that listens for external invocation events"). Each
+// AlloyStack process runs one watchdog; a gateway load-balances across
+// processes.
+type Watchdog struct {
+	visor *Visor
+	// OptionsFor builds the run options for an invocation; defaults to
+	// DefaultRunOptions. The harness injects per-experiment resources
+	// (disk images, hubs) here.
+	OptionsFor func(workflow string) RunOptions
+
+	srv       *http.Server
+	ln        net.Listener
+	inflight  atomic.Int64
+	completed atomic.Int64
+}
+
+// InvokeResponse is the JSON reply to an invocation.
+type InvokeResponse struct {
+	Workflow    string  `json:"workflow"`
+	E2EMillis   float64 `json:"e2e_ms"`
+	ColdStartMs float64 `json:"cold_start_ms"`
+	MemPeak     uint64  `json:"mem_peak_bytes"`
+	Error       string  `json:"error,omitempty"`
+}
+
+// NewWatchdog wraps v in an HTTP front end.
+func NewWatchdog(v *Visor) *Watchdog {
+	return &Watchdog{visor: v}
+}
+
+// Start listens on addr ("127.0.0.1:0" for ephemeral) and serves until
+// Stop. It returns the bound address.
+func (wd *Watchdog) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	wd.ln = ln
+	mux := http.NewServeMux()
+	mux.HandleFunc("/invoke/", wd.handleInvoke)
+	mux.HandleFunc("/healthz", wd.handleHealth)
+	mux.HandleFunc("/workflows", wd.handleList)
+	wd.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go wd.srv.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// Stop shuts the server down.
+func (wd *Watchdog) Stop() error {
+	if wd.srv == nil {
+		return nil
+	}
+	return wd.srv.Close()
+}
+
+// Addr returns the bound address.
+func (wd *Watchdog) Addr() string {
+	if wd.ln == nil {
+		return ""
+	}
+	return wd.ln.Addr().String()
+}
+
+// Inflight reports currently executing invocations.
+func (wd *Watchdog) Inflight() int64 { return wd.inflight.Load() }
+
+// Completed reports total completed invocations.
+func (wd *Watchdog) Completed() int64 { return wd.completed.Load() }
+
+func (wd *Watchdog) handleInvoke(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	name := strings.TrimPrefix(r.URL.Path, "/invoke/")
+	if name == "" {
+		http.Error(w, "missing workflow name", http.StatusBadRequest)
+		return
+	}
+	opts := DefaultRunOptions()
+	if wd.OptionsFor != nil {
+		opts = wd.OptionsFor(name)
+	}
+	wd.inflight.Add(1)
+	res, err := wd.visor.Invoke(name, opts)
+	wd.inflight.Add(-1)
+	wd.completed.Add(1)
+
+	resp := InvokeResponse{Workflow: name}
+	status := http.StatusOK
+	if err != nil {
+		resp.Error = err.Error()
+		status = http.StatusInternalServerError
+		if err != nil && strings.Contains(err.Error(), "not registered") {
+			status = http.StatusNotFound
+		}
+	} else {
+		resp.E2EMillis = float64(res.E2E) / float64(time.Millisecond)
+		resp.ColdStartMs = float64(res.ColdStart) / float64(time.Millisecond)
+		resp.MemPeak = res.MemPeak
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(resp)
+}
+
+func (wd *Watchdog) handleHealth(w http.ResponseWriter, r *http.Request) {
+	fmt.Fprintf(w, "ok inflight=%d completed=%d\n", wd.Inflight(), wd.Completed())
+}
+
+func (wd *Watchdog) handleList(w http.ResponseWriter, r *http.Request) {
+	wd.visor.mu.RLock()
+	names := make([]string, 0, len(wd.visor.workflows))
+	for n := range wd.visor.workflows {
+		names = append(names, n)
+	}
+	wd.visor.mu.RUnlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(names)
+}

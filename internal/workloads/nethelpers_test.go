@@ -1,0 +1,12 @@
+package workloads
+
+import "alloystack/internal/netstack"
+
+// Aliases keeping the test file's hub helper concise.
+type (
+	netHub  = netstack.Hub
+	netAddr = netstack.Addr
+)
+
+func newNetHub() *netHub            { return netstack.NewHub() }
+func netIP(a, b, c, d byte) netAddr { return netstack.IP(a, b, c, d) }
