@@ -1,0 +1,34 @@
+GO ?= go
+
+PKGS       := ./...
+CHAOS_PKGS := ./internal/faults ./internal/visor ./internal/gateway ./internal/kvstore ./internal/integration
+
+.PHONY: all build vet test race chaos bench ci
+
+all: build
+
+build:
+	$(GO) build $(PKGS)
+
+vet:
+	$(GO) vet $(PKGS)
+
+test:
+	$(GO) test $(PKGS)
+
+# race runs the fault-tolerance packages under the race detector; the
+# chaos tests are concurrency-heavy by design, so this is where races
+# surface first.
+race:
+	$(GO) test -race $(CHAOS_PKGS)
+
+# chaos runs the long soak variants that -short (and plain `make test`
+# via go's test cache) would skip.
+chaos:
+	$(GO) test -race -count=1 -run 'Chaos|Fault|Reconnect|Failover' $(CHAOS_PKGS)
+
+bench:
+	$(GO) run ./cmd/asbench -exp recovery
+
+ci:
+	./scripts/ci.sh

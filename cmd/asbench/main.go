@@ -38,13 +38,14 @@ var experiments = map[string]struct {
 	"fig16":   {bench.Fig16, "end-to-end latency on ramfs"},
 	"fig17a":  {bench.Fig17a, "tail latency under load"},
 	"fig17b":  {bench.Fig17b, "CPU and memory usage vs instances"},
-	"table4":  {bench.Table4, "LibOS substrate throughput vs host kernel"},
-	"engines": {bench.Engines, "guest engine ablation (Wasmtime vs WAVM model)"},
+	"table4":   {bench.Table4, "LibOS substrate throughput vs host kernel"},
+	"engines":  {bench.Engines, "guest engine ablation (Wasmtime vs WAVM model)"},
+	"recovery": {bench.Recovery, "fault recovery latency (injected panic + retry)"},
 }
 
 // order runs the cheap experiments first under -exp all.
 var order = []string{
-	"table1", "fig2", "fig10", "engines", "table4", "fig3",
+	"table1", "fig2", "fig10", "engines", "recovery", "table4", "fig3",
 	"fig11", "fig14", "fig16", "fig15", "fig12", "fig13", "fig17a", "fig17b",
 }
 

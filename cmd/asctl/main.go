@@ -9,14 +9,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"alloystack/internal/dag"
+	"alloystack/internal/faults"
 )
 
 func main() {
@@ -39,7 +42,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   asctl validate <workflow.json>   check a workflow configuration
   asctl describe <workflow.json>   print stages and instance counts
-  asctl invoke [-node host:port] <workflow>   invoke on a running asvisor`)
+  asctl invoke [-node host:port] [-timeout 30s] [-retries 0] <workflow>   invoke on a running asvisor`)
 	os.Exit(2)
 }
 
@@ -90,12 +93,53 @@ func cmdDescribe(args []string) {
 func cmdInvoke(args []string) {
 	fs := flag.NewFlagSet("invoke", flag.ExitOnError)
 	node := fs.String("node", "127.0.0.1:8080", "asvisor address")
+	timeout := fs.Duration("timeout", 0, "overall invocation timeout (0 = none)")
+	retries := fs.Int("retries", 0, "retry the HTTP call on transport error or 5xx, with backoff")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		usage()
 	}
 	name := fs.Arg(0)
-	resp, err := http.Post(fmt.Sprintf("http://%s/invoke/%s", *node, name), "application/json", nil)
+	url := fmt.Sprintf("http://%s/invoke/%s", *node, name)
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	policy := faults.DefaultRetryPolicy()
+	policy.MaxRetries = *retries
+
+	var (
+		resp *http.Response
+		err  error
+	)
+	start := time.Now()
+	for attempt := 0; ; attempt++ {
+		var req *http.Request
+		req, err = http.NewRequestWithContext(ctx, http.MethodPost, url, nil)
+		if err != nil {
+			fatal("invoke: %v", err)
+		}
+		resp, err = http.DefaultClient.Do(req)
+		// 5xx means the node (or the workflow) failed; 4xx is a caller
+		// mistake and retrying would not change the answer.
+		if err == nil && resp.StatusCode < 500 {
+			break
+		}
+		if !policy.Allow(attempt, time.Since(start)) {
+			break
+		}
+		if resp != nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		if serr := policy.Sleep(ctx, attempt); serr != nil {
+			break
+		}
+		fmt.Fprintf(os.Stderr, "asctl: retrying %s (attempt %d)\n", name, attempt+2)
+	}
 	if err != nil {
 		fatal("invoke: %v", err)
 	}

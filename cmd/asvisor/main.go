@@ -12,6 +12,10 @@
 // functions in native, C and Python tiers. Input-reading workflows get a
 // fresh FAT disk image with synthetic input data per invocation, sized
 // by -input-size.
+//
+// Chaos mode injects deterministic faults into every invocation:
+//
+//	asvisor -chaos 'panic=wc-map:2,kvdrop=5' -chaos-seed 7 -max-retries 3
 package main
 
 import (
@@ -24,6 +28,7 @@ import (
 	"syscall"
 
 	"alloystack/internal/dag"
+	"alloystack/internal/faults"
 	"alloystack/internal/visor"
 	"alloystack/internal/workloads"
 )
@@ -33,7 +38,29 @@ func main() {
 	dir := flag.String("workflows", "", "directory of workflow JSON configs")
 	inputSize := flag.Int64("input-size", 4<<20, "synthetic input size for file-reading workflows")
 	costScale := flag.Float64("cost-scale", 1.0, "injected platform-cost scale")
+	chaos := flag.String("chaos", "", "fault-injection spec, e.g. 'panic=wc-map:2,kvdrop=5' (see internal/faults)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the fault plan and retry jitter")
+	maxRetries := flag.Int("max-retries", 0, "per-instance retry budget for faulted functions (0 = default policy)")
+	funcTimeout := flag.Duration("func-timeout", 0, "per-function-attempt timeout (0 = none)")
+	deadline := flag.Duration("deadline", 0, "whole-invocation deadline (0 = none)")
 	flag.Parse()
+
+	var plan *faults.Plan
+	if *chaos != "" {
+		var err error
+		plan, err = faults.ParseSpec(*chaos, *chaosSeed)
+		if err != nil {
+			fatal("bad -chaos spec: %v", err)
+		}
+		fmt.Printf("chaos plan active: %s\n", plan)
+	}
+	var retry *faults.RetryPolicy
+	if *maxRetries > 0 {
+		p := faults.DefaultRetryPolicy()
+		p.MaxRetries = *maxRetries
+		p.Seed = *chaosSeed
+		retry = &p
+	}
 
 	reg := visor.NewRegistry()
 	workloads.RegisterAll(reg)
@@ -81,6 +108,10 @@ func main() {
 		ro := visor.DefaultRunOptions()
 		ro.CostScale = *costScale
 		ro.Stdout = os.Stdout
+		ro.Faults = plan
+		ro.Retry = retry
+		ro.FuncTimeout = *funcTimeout
+		ro.Deadline = *deadline
 		// Stage inputs for the workflows that read files.
 		w, err := v.Workflow(name)
 		if err != nil {

@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"alloystack/internal/faults"
+	"alloystack/internal/visor"
+	"alloystack/internal/workloads"
+)
+
+// Recovery measures restart-based fault recovery (paper §3.1): each
+// workflow runs clean and then under a seeded fault plan that panics
+// one function per instance, so the reported delta is the price of
+// detecting the fault, backing off and restarting inside a live WFD —
+// the intermediate data survives, so recovery is re-execution of the
+// failed function only, not the whole workflow.
+func Recovery(o Options) (*Report, error) {
+	o = o.withDefaults()
+	r := &Report{
+		ID:     "recovery",
+		Title:  "fault recovery latency (injected panic + retry, §3.1)",
+		Header: []string{"workload", "clean", "faulted", "overhead", "retries", "backoff-wait"},
+		Notes: []string{
+			"fault plan: every instance of the target function panics once (PanicEvery N=2)",
+			"retry policy: base 2ms, x2, cap 8ms, 20% jitter, seed 1",
+		},
+	}
+
+	policy := &faults.RetryPolicy{
+		MaxRetries: 3,
+		BaseDelay:  2 * time.Millisecond,
+		MaxDelay:   8 * time.Millisecond,
+		Multiplier: 2,
+		Jitter:     0.2,
+		MaxElapsed: time.Minute,
+		Seed:       1,
+	}
+
+	run := func(target string, build func() (visor.RunOptions, error),
+		wfName string) (clean, faulted *visor.RunResult, err error) {
+		v := newAlloyVisor()
+		workflow := workloads.FunctionChain(5, o.size(1<<20), "native")
+		if wfName == "word-count" {
+			workflow = workloads.WordCount(3, "native")
+		}
+		build2 := func(plan *faults.Plan) (visor.RunOptions, error) {
+			ro, err := build()
+			if err != nil {
+				return ro, err
+			}
+			ro.Retry = policy
+			ro.Faults = plan
+			return ro, nil
+		}
+		clean, err = runAlloy(o, v, workflow, func() (visor.RunOptions, error) {
+			return build2(nil)
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("clean %s: %w", wfName, err)
+		}
+		faulted, err = runAlloy(o, v, workflow, func() (visor.RunOptions, error) {
+			return build2(faults.NewPlan(1, faults.PanicEvery{Func: target, N: 2}))
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("faulted %s: %w", wfName, err)
+		}
+		return clean, faulted, nil
+	}
+
+	scenarios := []struct {
+		wfName string
+		target string
+		build  func() (visor.RunOptions, error)
+	}{
+		{"function-chain", "chain-2", func() (visor.RunOptions, error) {
+			return alloyOpts(o, nil), nil
+		}},
+		{"word-count", "wc-map", func() (visor.RunOptions, error) {
+			ro := alloyOpts(o, nil)
+			img, err := workloads.BuildTextImage(o.size(16<<20), false)
+			if err != nil {
+				return ro, err
+			}
+			ro.DiskImage = img
+			return ro, nil
+		}},
+	}
+	for _, sc := range scenarios {
+		clean, faulted, err := run(sc.target, sc.build, sc.wfName)
+		if err != nil {
+			return nil, err
+		}
+		overhead := faulted.E2E - clean.E2E
+		r.Rows = append(r.Rows, []string{
+			sc.wfName + "/" + sc.target,
+			ms(clean.E2E),
+			ms(faulted.E2E),
+			ms(overhead),
+			fmt.Sprint(faulted.Retries),
+			ms(faulted.RetryWait),
+		})
+	}
+	return emit(o, r), nil
+}

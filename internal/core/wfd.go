@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -221,6 +222,30 @@ func (w *WFD) Run(funcName string, fn func(env *asstd.Env) error) (err error) {
 		return eerr
 	}
 	return w.RunEnv(env, fn)
+}
+
+// RunCtx executes fn like Run but bounded by ctx: if the context is
+// cancelled or its deadline passes before fn returns, RunCtx returns the
+// context's error (wrapped) immediately. The abandoned attempt keeps
+// running in the background until it finishes — the simulation cannot
+// preempt a Go function mid-body, just as the paper's runtime cannot
+// interrupt a function between restart points — but its result is
+// discarded and its panic, if any, is still absorbed by the WFD.
+func (w *WFD) RunCtx(ctx context.Context, funcName string, fn func(env *asstd.Env) error) error {
+	if ctx == nil || ctx.Done() == nil {
+		return w.Run(funcName, fn)
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: %s not started: %w", funcName, err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- w.Run(funcName, fn) }()
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+		return fmt.Errorf("core: %s abandoned: %w", funcName, ctx.Err())
+	}
 }
 
 // RunEnv executes fn under an existing env with fault isolation.

@@ -1,0 +1,303 @@
+// Package faults implements deterministic, seedable fault injection and
+// the retry machinery that recovers from it. It is the chaos-engineering
+// counterpart to the paper's §3.1 fault-tolerance claim ("restart the
+// failed function while the WFD and its intermediate data are intact"):
+// a Plan describes *when* faults fire — function panics, delays, dropped
+// kvstore connections, downed gateway backends, network loss and
+// partitions — and the visor, gateway, kvstore client and netstack hub
+// consult it at shared injection points, so any workflow run can be
+// replayed under an identical fault schedule.
+//
+// Determinism contract: every injection decision is a pure function of
+// stable identifiers (function name, instance index, attempt number,
+// per-connection operation count, per-backend request count) plus the
+// plan's rules. Concurrency may reorder *when* decisions are recorded,
+// but never *which* decisions are made, so two runs of the same plan and
+// seed produce the same event set; Fingerprint() canonicalises the event
+// log for comparison.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"alloystack/internal/netstack"
+)
+
+// Rule is one fault-injection rule inside a Plan.
+type Rule interface {
+	ruleString() string
+}
+
+// PanicEvery makes every instance of Func fail its attempts until the
+// N-th attempt, which succeeds: each instance panics N-1 times and then
+// runs clean, so a run with a retry budget ≥ N-1 completes with exactly
+// (N-1) × instances retries. N ≤ 1 injects nothing.
+type PanicEvery struct {
+	Func string
+	N    int
+}
+
+func (r PanicEvery) ruleString() string { return fmt.Sprintf("panic=%s:%d", r.Func, r.N) }
+
+// DelayOnce delays the first attempt of instance 0 of Func by D — a
+// deterministic straggler for exercising stage fan-in waits and
+// per-function timeouts.
+type DelayOnce struct {
+	Func string
+	D    time.Duration
+}
+
+func (r DelayOnce) ruleString() string { return fmt.Sprintf("delay=%s:%s", r.Func, r.D) }
+
+// KVDropConn drops the kvstore client's connection every AfterOps
+// operations (counted per client connection), forcing the transparent
+// reconnect path. AfterOps ≤ 0 injects nothing.
+type KVDropConn struct {
+	AfterOps int
+}
+
+func (r KVDropConn) ruleString() string { return fmt.Sprintf("kvdrop=%d", r.AfterOps) }
+
+// BackendDown fails the first Window gateway requests routed to Addr
+// with a simulated connection error, after which the backend "recovers".
+// Exercises mark-down, cooldown and failover.
+type BackendDown struct {
+	Addr   string
+	Window int
+}
+
+func (r BackendDown) ruleString() string { return fmt.Sprintf("backend=%s:%d", r.Addr, r.Window) }
+
+// NetLoss drops the given fraction of frames on the virtual network hub,
+// reseeded from the plan seed so the drop pattern replays exactly.
+type NetLoss struct {
+	Rate float64
+}
+
+func (r NetLoss) ruleString() string { return fmt.Sprintf("netloss=%g", r.Rate) }
+
+// NetPartition blocks all traffic between two hub addresses in both
+// directions (the classic split-brain drill).
+type NetPartition struct {
+	A, B netstack.Addr
+}
+
+func (r NetPartition) ruleString() string { return fmt.Sprintf("partition=%s:%s", r.A, r.B) }
+
+// Event is one recorded fault injection.
+type Event struct {
+	Kind     string // "panic", "delay", "kv-drop", "backend-down"
+	Target   string // function name, backend address, or connection id
+	Instance int
+	Attempt  int
+}
+
+// String renders the event canonically.
+func (e Event) String() string {
+	return fmt.Sprintf("%s(%s,inst=%d,attempt=%d)", e.Kind, e.Target, e.Instance, e.Attempt)
+}
+
+// Plan is a deterministic fault schedule. The zero value injects
+// nothing; a nil *Plan is safe to consult everywhere.
+type Plan struct {
+	seed int64
+
+	panics   map[string]int           // func -> succeed on Nth attempt
+	delays   map[string]time.Duration // func -> instance-0 first-attempt delay
+	kvAfter  int
+	backends map[string]int // addr -> first-K requests fail
+	loss     float64
+	cuts     [][2]netstack.Addr
+
+	mu         sync.Mutex
+	events     []Event
+	backendSeq map[string]int // per-addr request counter
+}
+
+// NewPlan builds a plan from rules. The seed drives replayable
+// randomness (network loss); all other rules are counter-deterministic.
+func NewPlan(seed int64, rules ...Rule) *Plan {
+	p := &Plan{
+		seed:       seed,
+		panics:     make(map[string]int),
+		delays:     make(map[string]time.Duration),
+		backends:   make(map[string]int),
+		backendSeq: make(map[string]int),
+	}
+	for _, r := range rules {
+		switch r := r.(type) {
+		case PanicEvery:
+			if r.N > 1 {
+				p.panics[r.Func] = r.N
+			}
+		case DelayOnce:
+			if r.D > 0 {
+				p.delays[r.Func] = r.D
+			}
+		case KVDropConn:
+			if r.AfterOps > 0 {
+				p.kvAfter = r.AfterOps
+			}
+		case BackendDown:
+			if r.Window > 0 {
+				p.backends[r.Addr] = r.Window
+			}
+		case NetLoss:
+			if r.Rate > 0 {
+				p.loss = r.Rate
+			}
+		case NetPartition:
+			p.cuts = append(p.cuts, [2]netstack.Addr{r.A, r.B})
+		}
+	}
+	return p
+}
+
+// Seed returns the plan's seed.
+func (p *Plan) Seed() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.seed
+}
+
+func (p *Plan) note(e Event) {
+	p.mu.Lock()
+	p.events = append(p.events, e)
+	p.mu.Unlock()
+}
+
+// FuncPanic reports whether this (function, instance, attempt) should
+// panic, per the PanicEvery rules. Attempts are 0-based: with N=3,
+// attempts 0 and 1 panic and attempt 2 succeeds.
+func (p *Plan) FuncPanic(fn string, instance, attempt int) bool {
+	if p == nil {
+		return false
+	}
+	n, ok := p.panics[fn]
+	if !ok || attempt >= n-1 {
+		return false
+	}
+	p.note(Event{Kind: "panic", Target: fn, Instance: instance, Attempt: attempt})
+	return true
+}
+
+// FuncDelay returns the injected delay for this (function, instance,
+// attempt), per the DelayOnce rules.
+func (p *Plan) FuncDelay(fn string, instance, attempt int) time.Duration {
+	if p == nil {
+		return 0
+	}
+	d, ok := p.delays[fn]
+	if !ok || instance != 0 || attempt != 0 {
+		return 0
+	}
+	p.note(Event{Kind: "delay", Target: fn, Instance: instance, Attempt: attempt})
+	return d
+}
+
+// KVDrop reports whether a kvstore client should drop its connection
+// before its ops-th operation (1-based, counted per connection).
+func (p *Plan) KVDrop(ops int) bool {
+	if p == nil || p.kvAfter <= 0 || ops <= 0 || ops%p.kvAfter != 0 {
+		return false
+	}
+	p.note(Event{Kind: "kv-drop", Target: "client", Attempt: ops})
+	return true
+}
+
+// BackendFail returns a non-nil error when a gateway request to addr
+// falls inside a BackendDown window. The per-address request counter
+// lives in the plan, so the window is counted in routing order.
+func (p *Plan) BackendFail(addr string) error {
+	if p == nil {
+		return nil
+	}
+	window, ok := p.backends[addr]
+	if !ok {
+		return nil
+	}
+	p.mu.Lock()
+	p.backendSeq[addr]++
+	seq := p.backendSeq[addr]
+	p.mu.Unlock()
+	if seq > window {
+		return nil
+	}
+	p.note(Event{Kind: "backend-down", Target: addr, Attempt: seq})
+	return fmt.Errorf("faults: backend %s down (request %d/%d in window)", addr, seq, window)
+}
+
+// ApplyNet installs the plan's network rules (loss, partitions) on a
+// hub, reseeding its drop RNG from the plan seed so the frame-drop
+// pattern replays exactly.
+func (p *Plan) ApplyNet(hub *netstack.Hub) {
+	if p == nil || hub == nil {
+		return
+	}
+	if p.loss > 0 {
+		hub.SetLoss(p.loss, p.seed)
+	}
+	for _, cut := range p.cuts {
+		hub.Partition(cut[0], cut[1])
+	}
+}
+
+// Events returns a copy of the injections recorded so far, in arrival
+// order (which may vary across runs; see Fingerprint).
+func (p *Plan) Events() []Event {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Event, len(p.events))
+	copy(out, p.events)
+	return out
+}
+
+// Fingerprint canonicalises the event log — sorted, newline-joined — so
+// two runs of the same plan can be compared for identical injected-fault
+// sequences regardless of goroutine scheduling.
+func (p *Plan) Fingerprint() string {
+	evs := p.Events()
+	lines := make([]string, len(evs))
+	for i, e := range evs {
+		lines[i] = e.String()
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// String renders the plan's rules in the spec grammar accepted by
+// ParseSpec, prefixed with the seed.
+func (p *Plan) String() string {
+	if p == nil {
+		return "<no faults>"
+	}
+	var parts []string
+	for fn, n := range p.panics {
+		parts = append(parts, PanicEvery{fn, n}.ruleString())
+	}
+	for fn, d := range p.delays {
+		parts = append(parts, DelayOnce{fn, d}.ruleString())
+	}
+	if p.kvAfter > 0 {
+		parts = append(parts, KVDropConn{p.kvAfter}.ruleString())
+	}
+	for addr, w := range p.backends {
+		parts = append(parts, BackendDown{addr, w}.ruleString())
+	}
+	if p.loss > 0 {
+		parts = append(parts, NetLoss{p.loss}.ruleString())
+	}
+	for _, cut := range p.cuts {
+		parts = append(parts, NetPartition{cut[0], cut[1]}.ruleString())
+	}
+	sort.Strings(parts)
+	return fmt.Sprintf("seed=%d %s", p.seed, strings.Join(parts, ","))
+}

@@ -1,0 +1,116 @@
+package faults
+
+import (
+	"context"
+	"time"
+)
+
+// RetryPolicy governs how a failed function instance is retried:
+// exponential backoff with deterministic jitter, capped per-attempt and
+// in total elapsed time. The zero value retries immediately with no
+// backoff (the pre-chaos visor behaviour); DefaultRetryPolicy is the
+// production-shaped configuration.
+type RetryPolicy struct {
+	// MaxRetries is the per-instance retry budget: extra attempts after
+	// the first, matching the old visor MaxRetries knob.
+	MaxRetries int
+	// BaseDelay is the backoff before the first retry; each subsequent
+	// retry multiplies it by Multiplier, capped at MaxDelay.
+	BaseDelay  time.Duration
+	MaxDelay   time.Duration
+	Multiplier float64
+	// Jitter spreads each backoff uniformly in [d·(1-Jitter), d], with
+	// the fraction derived deterministically from Seed and the attempt
+	// number so replays wait identically.
+	Jitter float64
+	// MaxElapsed caps the total time an instance may spend retrying
+	// (attempt time + backoff); 0 means no cap.
+	MaxElapsed time.Duration
+	// Seed drives the deterministic jitter.
+	Seed int64
+}
+
+// DefaultRetryPolicy returns the standard recovery configuration: three
+// retries starting at 10ms, doubling to at most 500ms, 20% jitter, 30s
+// elapsed cap.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxRetries: 3,
+		BaseDelay:  10 * time.Millisecond,
+		MaxDelay:   500 * time.Millisecond,
+		Multiplier: 2,
+		Jitter:     0.2,
+		MaxElapsed: 30 * time.Second,
+	}
+}
+
+// splitmix64 is a tiny deterministic hash for jitter derivation.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Backoff returns the wait before retry number attempt (0-based: the
+// backoff between the first failure and the first retry is Backoff(0)).
+func (p RetryPolicy) Backoff(attempt int) time.Duration {
+	if p.BaseDelay <= 0 {
+		return 0
+	}
+	mult := p.Multiplier
+	if mult < 1 {
+		mult = 2
+	}
+	d := float64(p.BaseDelay)
+	for i := 0; i < attempt; i++ {
+		d *= mult
+		if p.MaxDelay > 0 && d >= float64(p.MaxDelay) {
+			d = float64(p.MaxDelay)
+			break
+		}
+	}
+	if p.MaxDelay > 0 && d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	if p.Jitter > 0 {
+		j := p.Jitter
+		if j > 1 {
+			j = 1
+		}
+		h := splitmix64(uint64(p.Seed)*0x9e3779b9 + uint64(attempt) + 1)
+		frac := float64(h%1_000_000) / 1_000_000 // deterministic in [0,1)
+		d *= 1 - j*frac
+	}
+	return time.Duration(d)
+}
+
+// Allow reports whether another retry fits the budget: attempt is the
+// 0-based retry index about to be consumed, elapsed the time spent on
+// this instance so far.
+func (p RetryPolicy) Allow(attempt int, elapsed time.Duration) bool {
+	if attempt >= p.MaxRetries {
+		return false
+	}
+	if p.MaxElapsed > 0 && elapsed >= p.MaxElapsed {
+		return false
+	}
+	return true
+}
+
+// Sleep waits out Backoff(attempt), returning early with the context's
+// error if it is cancelled first.
+func (p RetryPolicy) Sleep(ctx context.Context, attempt int) error {
+	d := p.Backoff(attempt)
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

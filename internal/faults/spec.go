@@ -1,0 +1,123 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"alloystack/internal/netstack"
+)
+
+// ParseSpec builds a Plan from a compact textual rule list, the format
+// the CLI accepts and Plan.String emits:
+//
+//	panic=FUNC:N          every instance of FUNC panics until its Nth attempt
+//	delay=FUNC:DUR        first attempt of FUNC instance 0 sleeps DUR (e.g. 5ms)
+//	kvdrop=N              kvstore clients drop their connection every N ops
+//	backend=HOST:PORT:K   first K gateway requests to the backend fail
+//	netloss=RATE          fraction of hub frames dropped (0..1), seeded
+//	partition=A:B         hub traffic between dotted-quad addrs A and B cut
+//
+// Rules are comma-separated: "panic=wc-map:2,kvdrop=10,netloss=0.01".
+// An empty spec yields an inject-nothing plan.
+func ParseSpec(spec string, seed int64) (*Plan, error) {
+	var rules []Rule
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		kind, arg, ok := strings.Cut(entry, "=")
+		if !ok {
+			return nil, fmt.Errorf("faults: rule %q: want kind=args", entry)
+		}
+		switch kind {
+		case "panic":
+			fn, ns, ok := cutLast(arg)
+			if !ok {
+				return nil, fmt.Errorf("faults: panic rule %q: want FUNC:N", arg)
+			}
+			n, err := strconv.Atoi(ns)
+			if err != nil || n < 2 {
+				return nil, fmt.Errorf("faults: panic rule %q: N must be an integer ≥ 2", arg)
+			}
+			rules = append(rules, PanicEvery{Func: fn, N: n})
+		case "delay":
+			fn, ds, ok := cutLast(arg)
+			if !ok {
+				return nil, fmt.Errorf("faults: delay rule %q: want FUNC:DUR", arg)
+			}
+			d, err := time.ParseDuration(ds)
+			if err != nil || d <= 0 {
+				return nil, fmt.Errorf("faults: delay rule %q: bad duration", arg)
+			}
+			rules = append(rules, DelayOnce{Func: fn, D: d})
+		case "kvdrop":
+			n, err := strconv.Atoi(arg)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("faults: kvdrop rule %q: want positive integer", arg)
+			}
+			rules = append(rules, KVDropConn{AfterOps: n})
+		case "backend":
+			addr, ks, ok := cutLast(arg)
+			if !ok || addr == "" {
+				return nil, fmt.Errorf("faults: backend rule %q: want HOST:PORT:K", arg)
+			}
+			k, err := strconv.Atoi(ks)
+			if err != nil || k < 1 {
+				return nil, fmt.Errorf("faults: backend rule %q: K must be a positive integer", arg)
+			}
+			rules = append(rules, BackendDown{Addr: addr, Window: k})
+		case "netloss":
+			rate, err := strconv.ParseFloat(arg, 64)
+			if err != nil || rate <= 0 || rate >= 1 {
+				return nil, fmt.Errorf("faults: netloss rule %q: want rate in (0,1)", arg)
+			}
+			rules = append(rules, NetLoss{Rate: rate})
+		case "partition":
+			as, bs, ok := strings.Cut(arg, ":")
+			if !ok {
+				return nil, fmt.Errorf("faults: partition rule %q: want A:B", arg)
+			}
+			a, err := parseIPv4(as)
+			if err != nil {
+				return nil, fmt.Errorf("faults: partition rule %q: %v", arg, err)
+			}
+			b, err := parseIPv4(bs)
+			if err != nil {
+				return nil, fmt.Errorf("faults: partition rule %q: %v", arg, err)
+			}
+			rules = append(rules, NetPartition{A: a, B: b})
+		default:
+			return nil, fmt.Errorf("faults: unknown rule kind %q", kind)
+		}
+	}
+	return NewPlan(seed, rules...), nil
+}
+
+// cutLast splits s at its last colon, so host:port-bearing prefixes
+// survive intact.
+func cutLast(s string) (before, after string, ok bool) {
+	i := strings.LastIndexByte(s, ':')
+	if i < 0 {
+		return s, "", false
+	}
+	return s[:i], s[i+1:], true
+}
+
+func parseIPv4(s string) (netstack.Addr, error) {
+	var a netstack.Addr
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return a, fmt.Errorf("bad IPv4 %q", s)
+	}
+	for i, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 0 || n > 255 {
+			return a, fmt.Errorf("bad IPv4 %q", s)
+		}
+		a[i] = byte(n)
+	}
+	return a, nil
+}

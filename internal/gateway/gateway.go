@@ -1,8 +1,11 @@
 // Package gateway implements the front door of an AlloyStack deployment
 // (paper Figure 4): invocations arrive at the gateway and are
 // load-balanced across AlloyStack processes, each of which runs a
-// watchdog HTTP server. The gateway is deliberately thin — round-robin
-// with failover — because the paper's latency story lives below it.
+// watchdog HTTP server. Round-robin routing is wrapped in a small
+// circuit breaker: backends that fail transport-level or repeatedly
+// return 5xx are marked down for a cooldown and skipped, with half-open
+// probing so a recovered backend rejoins the rotation and a full outage
+// still surfaces as ErrAllDown rather than a silent hang.
 package gateway
 
 import (
@@ -11,8 +14,11 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
+
+	"alloystack/internal/faults"
 )
 
 // Errors returned by the gateway.
@@ -21,14 +27,73 @@ var (
 	ErrAllDown    = errors.New("gateway: all backends failed")
 )
 
+// backendState is one watchdog backend plus its breaker state.
+type backendState struct {
+	addr string
+
+	mu        sync.Mutex
+	fails     int // consecutive status-level failures
+	downUntil time.Time
+}
+
+// isDown reports whether the breaker currently excludes the backend
+// from the primary rotation.
+func (b *backendState) isDown(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return now.Before(b.downUntil)
+}
+
+// markDown trips the breaker for cooldown.
+func (b *backendState) markDown(cooldown time.Duration, now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	b.downUntil = now.Add(cooldown)
+}
+
+// noteFail counts a status-level failure, tripping the breaker when the
+// consecutive-failure threshold is reached.
+func (b *backendState) noteFail(threshold int, cooldown time.Duration, now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	if b.fails >= threshold {
+		b.fails = 0
+		b.downUntil = now.Add(cooldown)
+	}
+}
+
+// markUp resets the breaker after a successful response.
+func (b *backendState) markUp() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	b.downUntil = time.Time{}
+}
+
 // Gateway load-balances invocations across watchdog backends.
 type Gateway struct {
-	backends []string
+	backends []*backendState
 	next     atomic.Uint64
 	client   *http.Client
 
-	srv *http.Server
-	ln  net.Listener
+	// Cooldown is how long a tripped backend stays out of the primary
+	// rotation (default 500ms).
+	Cooldown time.Duration
+	// FailThreshold is how many consecutive 5xx responses trip the
+	// breaker (default 3). Transport-level failures trip it instantly.
+	FailThreshold int
+	// Faults, when non-nil, is consulted before each forward so a
+	// deterministic plan can simulate downed backends (BackendDown).
+	Faults *faults.Plan
+
+	failovers atomic.Int64
+
+	srv        *http.Server
+	ln         net.Listener
+	healthStop chan struct{}
+	healthWG   sync.WaitGroup
 }
 
 // New builds a gateway over the given watchdog addresses.
@@ -36,37 +101,185 @@ func New(backends ...string) (*Gateway, error) {
 	if len(backends) == 0 {
 		return nil, ErrNoBackends
 	}
+	states := make([]*backendState, len(backends))
+	for i, addr := range backends {
+		states[i] = &backendState{addr: addr}
+	}
 	return &Gateway{
-		backends: backends,
+		backends: states,
 		client:   &http.Client{Timeout: 5 * time.Minute},
 	}, nil
 }
 
-// Invoke forwards one invocation, trying each backend at most once
-// starting from the round-robin cursor.
+func (g *Gateway) cooldown() time.Duration {
+	if g.Cooldown > 0 {
+		return g.Cooldown
+	}
+	return 500 * time.Millisecond
+}
+
+func (g *Gateway) failThreshold() int {
+	if g.FailThreshold > 0 {
+		return g.FailThreshold
+	}
+	return 3
+}
+
+// forward outcomes.
+const (
+	outcomeOK        = iota // 2xx: success
+	outcomeApp              // 4xx: caller error, do not fail over
+	outcomeBackend          // 5xx: backend unhealthy, fail over with body
+	outcomeTransport        // connection-level failure, fail over
+)
+
+func (g *Gateway) forward(b *backendState, workflow string) ([]byte, error, int) {
+	now := time.Now()
+	if g.Faults != nil {
+		if err := g.Faults.BackendFail(b.addr); err != nil {
+			b.markDown(g.cooldown(), now)
+			return nil, err, outcomeTransport
+		}
+	}
+	url := fmt.Sprintf("http://%s/invoke/%s", b.addr, workflow)
+	resp, err := g.client.Post(url, "application/json", nil)
+	if err != nil {
+		b.markDown(g.cooldown(), now)
+		return nil, err, outcomeTransport
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		b.markDown(g.cooldown(), now)
+		return nil, err, outcomeTransport
+	}
+	switch {
+	case resp.StatusCode < 300:
+		b.markUp()
+		return body, nil, outcomeOK
+	case resp.StatusCode >= 500:
+		b.noteFail(g.failThreshold(), g.cooldown(), now)
+		return body, fmt.Errorf("gateway: backend %s: status %d", b.addr, resp.StatusCode), outcomeBackend
+	default:
+		// The backend answered coherently; the request is the problem.
+		b.markUp()
+		return body, fmt.Errorf("gateway: backend %s: status %d", b.addr, resp.StatusCode), outcomeApp
+	}
+}
+
+// Invoke forwards one invocation. Healthy backends are tried first from
+// the round-robin cursor; if none succeeds, marked-down backends are
+// probed half-open so a recovered node rejoins immediately. Backends
+// answering 4xx stop the search (the request itself is bad); 5xx and
+// transport failures fail over to the next backend.
 func (g *Gateway) Invoke(workflow string) ([]byte, error) {
+	n := uint64(len(g.backends))
 	start := g.next.Add(1)
 	var lastErr error
-	for i := 0; i < len(g.backends); i++ {
-		backend := g.backends[(start+uint64(i))%uint64(len(g.backends))]
-		url := fmt.Sprintf("http://%s/invoke/%s", backend, workflow)
-		resp, err := g.client.Post(url, "application/json", nil)
-		if err != nil {
-			lastErr = err
-			continue
+	var lastBody []byte
+	tried := 0
+	for pass := 0; pass < 2; pass++ {
+		for i := uint64(0); i < n; i++ {
+			b := g.backends[(start+i)%n]
+			down := b.isDown(time.Now())
+			// Pass 0 walks healthy backends; pass 1 probes the
+			// marked-down remainder (half-open).
+			if (pass == 0) == down {
+				continue
+			}
+			if tried > 0 {
+				g.failovers.Add(1)
+			}
+			tried++
+			body, err, outcome := g.forward(b, workflow)
+			switch outcome {
+			case outcomeOK:
+				return body, nil
+			case outcomeApp:
+				return body, err
+			case outcomeBackend:
+				lastBody, lastErr = body, err
+			case outcomeTransport:
+				lastErr = err
+			}
 		}
-		body, err := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if err != nil {
-			lastErr = err
-			continue
-		}
-		if resp.StatusCode != http.StatusOK {
-			return body, fmt.Errorf("gateway: backend %s: status %d", backend, resp.StatusCode)
-		}
-		return body, nil
+	}
+	if lastBody != nil {
+		// Every reachable backend rejected the invocation at the
+		// application layer: surface the response, not ErrAllDown.
+		return lastBody, lastErr
 	}
 	return nil, fmt.Errorf("%w: last error: %v", ErrAllDown, lastErr)
+}
+
+// Failovers reports how many times a request moved past its first
+// candidate backend.
+func (g *Gateway) Failovers() int64 { return g.failovers.Load() }
+
+// BackendStatus reports each backend's breaker state (true = in the
+// primary rotation).
+func (g *Gateway) BackendStatus() map[string]bool {
+	now := time.Now()
+	out := make(map[string]bool, len(g.backends))
+	for _, b := range g.backends {
+		out[b.addr] = !b.isDown(now)
+	}
+	return out
+}
+
+// CheckHealth actively probes every backend's /healthz, updating the
+// breaker: an unreachable or erroring backend is marked down, a
+// responsive one rejoins the rotation. Returns the post-probe status.
+func (g *Gateway) CheckHealth() map[string]bool {
+	client := &http.Client{Timeout: 2 * time.Second}
+	for _, b := range g.backends {
+		resp, err := client.Get(fmt.Sprintf("http://%s/healthz", b.addr))
+		if err != nil {
+			b.markDown(g.cooldown(), time.Now())
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode < 300 {
+			b.markUp()
+		} else {
+			b.markDown(g.cooldown(), time.Now())
+		}
+	}
+	return g.BackendStatus()
+}
+
+// StartHealthLoop probes backends every interval until Stop (or
+// StopHealthLoop) is called.
+func (g *Gateway) StartHealthLoop(interval time.Duration) {
+	if g.healthStop != nil {
+		return
+	}
+	g.healthStop = make(chan struct{})
+	g.healthWG.Add(1)
+	go func() {
+		defer g.healthWG.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				g.CheckHealth()
+			case <-g.healthStop:
+				return
+			}
+		}
+	}()
+}
+
+// StopHealthLoop halts the active health prober, if running.
+func (g *Gateway) StopHealthLoop() {
+	if g.healthStop == nil {
+		return
+	}
+	close(g.healthStop)
+	g.healthWG.Wait()
+	g.healthStop = nil
 }
 
 // Start exposes the gateway itself over HTTP: POST /invoke/{workflow}.
@@ -99,8 +312,9 @@ func (g *Gateway) Start(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// Stop shuts the gateway's HTTP server down.
+// Stop shuts the gateway's HTTP server and health prober down.
 func (g *Gateway) Stop() error {
+	g.StopHealthLoop()
 	if g.srv == nil {
 		return nil
 	}
@@ -110,6 +324,8 @@ func (g *Gateway) Stop() error {
 // Backends returns the configured backend list.
 func (g *Gateway) Backends() []string {
 	out := make([]string, len(g.backends))
-	copy(out, g.backends)
+	for i, b := range g.backends {
+		out[i] = b.addr
+	}
 	return out
 }

@@ -4,11 +4,14 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"alloystack/internal/asstd"
 	"alloystack/internal/dag"
+	"alloystack/internal/faults"
 	"alloystack/internal/visor"
 )
 
@@ -142,6 +145,138 @@ func TestGatewayHTTPFrontEnd(t *testing.T) {
 	defer resp2.Body.Close()
 	if resp2.StatusCode == http.StatusOK {
 		t.Fatal("ghost invocation reported OK")
+	}
+}
+
+// A backend answering 5xx is failed over and, at the threshold, marked
+// down and excluded from the rotation.
+func TestFailoverOnBackend5xx(t *testing.T) {
+	sick := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"internal"}`, http.StatusServiceUnavailable)
+	}))
+	defer sick.Close()
+	healthy := startBackend(t)
+
+	g, err := New(strings.TrimPrefix(sick.URL, "http://"), healthy.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.FailThreshold = 1
+	g.Cooldown = time.Hour // keep it down for the whole test
+
+	for i := 0; i < 6; i++ {
+		body, err := g.Invoke("noop")
+		if err != nil {
+			t.Fatalf("invoke %d: %v", i, err)
+		}
+		var resp visor.InvokeResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Error != "" {
+			t.Fatalf("invoke %d: %s", i, resp.Error)
+		}
+	}
+	if healthy.Completed() != 6 {
+		t.Fatalf("healthy backend served %d/6", healthy.Completed())
+	}
+	status := g.BackendStatus()
+	if status[strings.TrimPrefix(sick.URL, "http://")] {
+		t.Fatal("5xx backend not marked down")
+	}
+	if !status[healthy.Addr()] {
+		t.Fatal("healthy backend marked down")
+	}
+	if g.Failovers() == 0 {
+		t.Fatal("no failovers counted")
+	}
+}
+
+// When every backend answers 5xx the application response is surfaced,
+// not ErrAllDown.
+func TestAll5xxSurfacesBody(t *testing.T) {
+	mk := func() *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			http.Error(w, `{"error":"exploded"}`, http.StatusInternalServerError)
+		}))
+	}
+	s1, s2 := mk(), mk()
+	defer s1.Close()
+	defer s2.Close()
+	g, err := New(strings.TrimPrefix(s1.URL, "http://"), strings.TrimPrefix(s2.URL, "http://"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := g.Invoke("noop")
+	if err == nil {
+		t.Fatal("5xx reported as success")
+	}
+	if errors.Is(err, ErrAllDown) {
+		t.Fatalf("err = %v, want backend status error with body", err)
+	}
+	if !strings.Contains(string(body), "exploded") {
+		t.Fatalf("body = %q", body)
+	}
+}
+
+// A marked-down backend rejoins the rotation after its fault window and
+// cooldown pass (the BackendDown chaos rule end to end).
+func TestMarkedDownBackendRecovers(t *testing.T) {
+	b1 := startBackend(t)
+	b2 := startBackend(t)
+	g, err := New(b1.Addr(), b2.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Cooldown = 20 * time.Millisecond
+	g.Faults = faults.NewPlan(11, faults.BackendDown{Addr: b1.Addr(), Window: 1})
+
+	// Every request during the window still succeeds via failover.
+	for i := 0; i < 4; i++ {
+		if _, err := g.Invoke("noop"); err != nil {
+			t.Fatalf("invoke %d during window: %v", i, err)
+		}
+	}
+	// Wait out the cooldown, then push enough traffic through that the
+	// recovered b1 must serve some of it.
+	time.Sleep(30 * time.Millisecond)
+	for i := 0; i < 8; i++ {
+		if _, err := g.Invoke("noop"); err != nil {
+			t.Fatalf("invoke %d after recovery: %v", i, err)
+		}
+	}
+	if b1.Completed() == 0 {
+		t.Fatal("recovered backend never rejoined the rotation")
+	}
+	if b1.Completed()+b2.Completed() != 12 {
+		t.Fatalf("lost invocations: %d + %d != 12", b1.Completed(), b2.Completed())
+	}
+}
+
+// Active health checks revive a marked-down backend without waiting for
+// invocation traffic to probe it.
+func TestHealthCheckRevivesBackend(t *testing.T) {
+	b := startBackend(t)
+	g, err := New(b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Cooldown = time.Hour
+	g.Faults = faults.NewPlan(5, faults.BackendDown{Addr: b.Addr(), Window: 1})
+
+	if _, err := g.Invoke("noop"); err != nil {
+		// The single-backend gateway still succeeds: the half-open pass
+		// re-probes the backend, whose fault window has already passed.
+		t.Fatalf("invoke during 1-request window: %v", err)
+	}
+	// Force a mark-down, then verify the prober revives it.
+	g.backends[0].markDown(time.Hour, time.Now())
+	if g.BackendStatus()[b.Addr()] {
+		t.Fatal("backend not down")
+	}
+	status := g.CheckHealth()
+	if !status[b.Addr()] {
+		t.Fatal("health check did not revive the backend")
 	}
 }
 

@@ -1,0 +1,89 @@
+package integration
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"alloystack/internal/faults"
+	"alloystack/internal/gateway"
+	"alloystack/internal/visor"
+)
+
+// The full deployment under chaos: workflow-level injected panics
+// recovered by the retry policy, and a gateway whose first backend is
+// down for a window, all while every external invocation still
+// succeeds. This is the paper's §3.1 story measured end to end.
+func TestChaosThroughGatewayRecovers(t *testing.T) {
+	workflowPlan := faults.NewPlan(21,
+		faults.PanicEvery{Func: "chain-1", N: 2},
+	)
+	optionsFor := func(wd *visor.Watchdog) {
+		base := wd.OptionsFor
+		wd.OptionsFor = func(name string) visor.RunOptions {
+			ro := base(name)
+			ro.Faults = workflowPlan
+			ro.Retry = &faults.RetryPolicy{
+				MaxRetries: 2,
+				BaseDelay:  time.Millisecond,
+				Multiplier: 2,
+				Jitter:     0.2,
+				Seed:       workflowPlan.Seed(),
+			}
+			ro.FuncTimeout = 30 * time.Second
+			return ro
+		}
+	}
+	n1 := startNode(t, nil)
+	n2 := startNode(t, nil)
+	optionsFor(n1)
+	optionsFor(n2)
+
+	g, err := gateway.New(n1.Addr(), n2.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Cooldown = 10 * time.Millisecond
+	g.Faults = faults.NewPlan(21, faults.BackendDown{Addr: n1.Addr(), Window: 2})
+
+	const total = 10
+	retried := 0
+	for i := 0; i < total; i++ {
+		body, err := g.Invoke("function-chain")
+		if err != nil {
+			t.Fatalf("invoke %d under chaos: %v", i, err)
+		}
+		var ir visor.InvokeResponse
+		if err := json.Unmarshal(body, &ir); err != nil {
+			t.Fatal(err)
+		}
+		if ir.Error != "" {
+			t.Fatalf("invoke %d: %s", i, ir.Error)
+		}
+		if ir.Retries > 0 {
+			retried++
+		}
+		time.Sleep(5 * time.Millisecond) // let the cooldown cycle
+	}
+	if n1.Completed()+n2.Completed() != total {
+		t.Fatalf("lost invocations: %d + %d != %d", n1.Completed(), n2.Completed(), total)
+	}
+	// Every run injects one chain-1 panic, recovered by one retry.
+	if retried != total {
+		t.Fatalf("retries surfaced on %d/%d invocations", retried, total)
+	}
+	if len(workflowPlan.Events()) != total {
+		t.Fatalf("injected panics = %d, want %d", len(workflowPlan.Events()), total)
+	}
+	// The downed-backend window shows up on the gateway plan's log.
+	found := false
+	for _, e := range g.Faults.Events() {
+		if e.Kind == "backend-down" && strings.Contains(e.Target, n1.Addr()) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("backend-down window never fired")
+	}
+}

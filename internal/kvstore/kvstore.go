@@ -21,6 +21,8 @@ import (
 	"net"
 	"strconv"
 	"sync"
+
+	"alloystack/internal/faults"
 )
 
 // Errors returned by the client.
@@ -38,6 +40,8 @@ type Server struct {
 	ln     net.Listener
 	wg     sync.WaitGroup
 	closed chan struct{}
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
 
 	gets sync.Map // metrics: per-command counters (string -> *int64)
 }
@@ -53,6 +57,7 @@ func NewServer(addr string) (*Server, error) {
 		data:   make(map[string][]byte),
 		ln:     ln,
 		closed: make(chan struct{}),
+		conns:  make(map[net.Conn]struct{}),
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -62,7 +67,9 @@ func NewServer(addr string) (*Server, error) {
 // Addr returns the listening address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the acceptor and waits for connection handlers.
+// Close stops the acceptor, force-closes live client connections and
+// waits for their handlers. Without the force-close a server shutdown
+// would block until every client disconnected on its own.
 func (s *Server) Close() error {
 	select {
 	case <-s.closed:
@@ -71,6 +78,11 @@ func (s *Server) Close() error {
 	}
 	close(s.closed)
 	err := s.ln.Close()
+	s.connMu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.connMu.Unlock()
 	s.wg.Wait()
 	return err
 }
@@ -82,10 +94,18 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return
 		}
+		s.connMu.Lock()
+		s.conns[conn] = struct{}{}
+		s.connMu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			defer conn.Close()
+			defer func() {
+				s.connMu.Lock()
+				delete(s.conns, conn)
+				s.connMu.Unlock()
+				conn.Close()
+			}()
 			s.serve(conn)
 		}()
 	}
@@ -216,11 +236,28 @@ func (s *Server) Keys() int {
 
 // Client is a connection to a Server. Safe for concurrent use; commands
 // are serialised on the single connection like a real Redis client.
+//
+// Transient failures — a dropped TCP connection, a server restart on
+// the same address — are absorbed transparently: the client redials and
+// replays the failed command up to MaxReconnects times before
+// surfacing the error. Protocol- and application-level errors
+// (ErrServer, ErrProtocol, ErrNotFound) are never retried.
 type Client struct {
 	mu   sync.Mutex
+	addr string
 	conn net.Conn
 	r    *bufio.Reader
 	w    *bufio.Writer
+
+	ops        int
+	reconnects int
+
+	// MaxReconnects bounds redial-and-replay attempts per command
+	// (default 2).
+	MaxReconnects int
+	// Faults, when non-nil, is consulted before every command so a
+	// deterministic plan can drop the connection (KVDropConn).
+	Faults *faults.Plan
 }
 
 // Dial connects to the store at addr.
@@ -230,6 +267,7 @@ func Dial(addr string) (*Client, error) {
 		return nil, err
 	}
 	return &Client{
+		addr: addr,
 		conn: conn,
 		r:    bufio.NewReaderSize(conn, 64*1024),
 		w:    bufio.NewWriterSize(conn, 64*1024),
@@ -237,7 +275,79 @@ func Dial(addr string) (*Client, error) {
 }
 
 // Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	return c.conn.Close()
+}
+
+// Reconnects reports how many transparent redials the client performed.
+func (c *Client) Reconnects() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reconnects
+}
+
+// transient reports whether err warrants a redial-and-replay: anything
+// that is not one of our protocol/application sentinels is assumed to
+// be a connection-level failure.
+func transient(err error) bool {
+	return err != nil &&
+		!errors.Is(err, ErrServer) &&
+		!errors.Is(err, ErrProtocol) &&
+		!errors.Is(err, ErrNotFound)
+}
+
+// redial replaces the connection; on failure the old (dead) connection
+// stays in place so subsequent attempts keep failing transiently.
+func (c *Client) redial() error {
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return err
+	}
+	if c.conn != nil {
+		c.conn.Close()
+	}
+	c.conn = conn
+	c.r = bufio.NewReaderSize(conn, 64*1024)
+	c.w = bufio.NewWriterSize(conn, 64*1024)
+	return nil
+}
+
+// do runs one command attempt under the client lock, replaying it
+// across reconnects on transient failure. Commands are idempotent
+// (SET/GET/DEL/PING), so replay after an ambiguous failure is safe.
+func (c *Client) do(attempt func() error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ops++
+	if c.Faults.KVDrop(c.ops) {
+		// Injected fault: the connection dies under us mid-sequence.
+		c.conn.Close()
+	}
+	err := attempt()
+	if !transient(err) {
+		return err
+	}
+	max := c.MaxReconnects
+	if max <= 0 {
+		max = 2
+	}
+	for i := 0; i < max; i++ {
+		if derr := c.redial(); derr != nil {
+			err = derr
+			continue
+		}
+		c.reconnects++
+		if err = attempt(); !transient(err) {
+			return err
+		}
+	}
+	return err
+}
 
 func (c *Client) send(args ...[]byte) error {
 	fmt.Fprintf(c.w, "*%d\r\n", len(args))
@@ -251,79 +361,88 @@ func (c *Client) send(args ...[]byte) error {
 
 // Set stores value under key.
 func (c *Client) Set(key string, value []byte) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := c.send([]byte("SET"), []byte(key), value); err != nil {
-		return err
-	}
-	line, err := readLine(c.r)
-	if err != nil {
-		return err
-	}
-	if len(line) == 0 || line[0] != '+' {
-		return fmt.Errorf("%w: %s", ErrServer, line)
-	}
-	return nil
+	return c.do(func() error {
+		if err := c.send([]byte("SET"), []byte(key), value); err != nil {
+			return err
+		}
+		line, err := readLine(c.r)
+		if err != nil {
+			return err
+		}
+		if len(line) == 0 || line[0] != '+' {
+			return fmt.Errorf("%w: %s", ErrServer, line)
+		}
+		return nil
+	})
 }
 
 // Get fetches the value under key.
 func (c *Client) Get(key string) ([]byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := c.send([]byte("GET"), []byte(key)); err != nil {
-		return nil, err
-	}
-	line, err := readLine(c.r)
+	var out []byte
+	err := c.do(func() error {
+		if err := c.send([]byte("GET"), []byte(key)); err != nil {
+			return err
+		}
+		line, err := readLine(c.r)
+		if err != nil {
+			return err
+		}
+		if len(line) == 0 || line[0] != '$' {
+			return fmt.Errorf("%w: %s", ErrServer, line)
+		}
+		n, err := strconv.Atoi(string(line[1:]))
+		if err != nil {
+			return ErrProtocol
+		}
+		if n == -1 {
+			return ErrNotFound
+		}
+		buf := make([]byte, n+2)
+		if _, err := io.ReadFull(c.r, buf); err != nil {
+			return err
+		}
+		out = buf[:n]
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	if len(line) == 0 || line[0] != '$' {
-		return nil, fmt.Errorf("%w: %s", ErrServer, line)
-	}
-	n, err := strconv.Atoi(string(line[1:]))
-	if err != nil {
-		return nil, ErrProtocol
-	}
-	if n == -1 {
-		return nil, ErrNotFound
-	}
-	buf := make([]byte, n+2)
-	if _, err := io.ReadFull(c.r, buf); err != nil {
-		return nil, err
-	}
-	return buf[:n], nil
+	return out, nil
 }
 
 // Del removes key, reporting whether it existed.
 func (c *Client) Del(key string) (bool, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := c.send([]byte("DEL"), []byte(key)); err != nil {
-		return false, err
-	}
-	line, err := readLine(c.r)
-	if err != nil {
-		return false, err
-	}
-	if len(line) == 0 || line[0] != ':' {
-		return false, fmt.Errorf("%w: %s", ErrServer, line)
-	}
-	return string(line[1:]) == "1", nil
+	var existed bool
+	err := c.do(func() error {
+		if err := c.send([]byte("DEL"), []byte(key)); err != nil {
+			return err
+		}
+		line, err := readLine(c.r)
+		if err != nil {
+			return err
+		}
+		if len(line) == 0 || line[0] != ':' {
+			return fmt.Errorf("%w: %s", ErrServer, line)
+		}
+		existed = string(line[1:]) == "1"
+		return nil
+	})
+	return existed, err
 }
 
 // Ping round-trips a health check.
 func (c *Client) Ping() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := c.send([]byte("PING")); err != nil {
-		return err
-	}
-	line, err := readLine(c.r)
-	if err != nil {
-		return err
-	}
-	if string(line) != "+PONG" {
-		return fmt.Errorf("%w: %s", ErrServer, line)
-	}
-	return nil
+	return c.do(func() error {
+		if err := c.send([]byte("PING")); err != nil {
+			return err
+		}
+		line, err := readLine(c.r)
+		if err != nil {
+			return err
+		}
+		if string(line) != "+PONG" {
+			return fmt.Errorf("%w: %s", ErrServer, line)
+		}
+		return nil
+	})
 }

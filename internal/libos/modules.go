@@ -3,6 +3,7 @@ package libos
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"alloystack/internal/fatfs"
 	"alloystack/internal/loader"
@@ -221,11 +222,18 @@ func initStdio(e any) (loader.Instance, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Function instances in one stage run concurrently and share the
+	// configured writer, so writes must be serialised here — the caller's
+	// writer (a bytes.Buffer in tests, os.Stdout in asvisor) need not be
+	// concurrency-safe.
+	var mu sync.Mutex
 	out := l.cfg.Stdout
 	return &module{
 		name: "stdio",
 		entries: map[loader.Symbol]any{
 			"stdio.host_stdout": StdoutFn(func(p []byte) (int, error) {
+				mu.Lock()
+				defer mu.Unlock()
 				return out.Write(p)
 			}),
 		},

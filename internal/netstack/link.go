@@ -24,11 +24,57 @@ type Hub struct {
 	rng      *rand.Rand
 	dropped  int64
 	frames   int64
+
+	// cuts holds partitioned address pairs (both directions blocked).
+	cuts map[[2]Addr]bool
 }
 
 // NewHub returns an empty hub.
 func NewHub() *Hub {
 	return &Hub{nics: make(map[Addr]*NIC), rng: rand.New(rand.NewSource(1))}
+}
+
+// SetLoss configures frame loss with a fresh deterministic RNG, so the
+// same (rate, seed) replays the exact drop pattern — the faults.NetLoss
+// rule's injection point.
+func (h *Hub) SetLoss(rate float64, seed int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.LossRate = rate
+	h.rng = rand.New(rand.NewSource(seed))
+}
+
+// Partition cuts all traffic between a and b in both directions (the
+// faults.NetPartition rule). Idempotent.
+func (h *Hub) Partition(a, b Addr) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.cuts == nil {
+		h.cuts = make(map[[2]Addr]bool)
+	}
+	h.cuts[cutKey(a, b)] = true
+}
+
+// Heal removes a partition between a and b.
+func (h *Hub) Heal(a, b Addr) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.cuts, cutKey(a, b))
+}
+
+// HealAll removes every partition.
+func (h *Hub) HealAll() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.cuts = nil
+}
+
+// cutKey orders the pair so Partition(a,b) and Partition(b,a) coincide.
+func cutKey(a, b Addr) [2]Addr {
+	if string(b[:]) < string(a[:]) {
+		a, b = b, a
+	}
+	return [2]Addr{a, b}
 }
 
 // Errors returned by the link layer.
@@ -91,6 +137,12 @@ func (n *NIC) Send(pkt []byte) error {
 	hub := n.hub
 	hub.mu.Lock()
 	hub.frames++
+	if hub.cuts != nil && hub.cuts[cutKey(h.Src, h.Dst)] {
+		// Partitioned: silently dropped, like a cut cable.
+		hub.dropped++
+		hub.mu.Unlock()
+		return nil
+	}
 	if hub.LossRate > 0 && hub.rng.Float64() < hub.LossRate {
 		hub.dropped++
 		hub.mu.Unlock()

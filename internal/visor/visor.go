@@ -6,6 +6,7 @@
 package visor
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -19,6 +20,7 @@ import (
 	"alloystack/internal/blockdev"
 	"alloystack/internal/core"
 	"alloystack/internal/dag"
+	"alloystack/internal/faults"
 	"alloystack/internal/metrics"
 	"alloystack/internal/netstack"
 	"alloystack/internal/ramfs"
@@ -184,7 +186,28 @@ type RunOptions struct {
 	// MaxRetries restarts a function instance that faults (panics) up
 	// to this many extra times, provided the WFD survived — the paper's
 	// §3.1 retry-based fault tolerance for idempotent functions.
+	// Superseded by Retry when that is set.
 	MaxRetries int
+
+	// Retry, when non-nil, replaces the bare MaxRetries loop with a
+	// full policy: exponential backoff with deterministic jitter, a
+	// max-elapsed cap and a per-instance budget.
+	Retry *faults.RetryPolicy
+
+	// Ctx bounds the whole invocation; cancelling it stops every
+	// in-flight function instance. Nil means context.Background().
+	Ctx context.Context
+	// Deadline, when positive, is the per-invocation wall-clock budget
+	// layered on top of Ctx.
+	Deadline time.Duration
+	// FuncTimeout, when positive, bounds each function attempt; an
+	// attempt that exceeds it fails with a deadline error (timeouts are
+	// not retried — the abandoned attempt may still be running).
+	FuncTimeout time.Duration
+
+	// Faults, when non-nil, is the deterministic fault-injection plan
+	// consulted before every function attempt (see internal/faults).
+	Faults *faults.Plan
 
 	// ImportSlots pre-registers intermediate data before the first
 	// stage; ExportSlots drains slots after the last stage (multi-node
@@ -216,6 +239,11 @@ type RunResult struct {
 	Crossings uint64
 	// Retries counts function restarts absorbed by fault tolerance.
 	Retries int
+	// RetryBudget echoes the per-instance retry budget that was in
+	// force, so callers can relate Retries to what was available.
+	RetryBudget int
+	// RetryWait is the total backoff time spent between retries.
+	RetryWait time.Duration
 	// Exports carries the drained ExportSlots data (multi-node bridge).
 	Exports map[string][]byte
 }
@@ -264,14 +292,44 @@ func (v *Visor) Invoke(name string, opts RunOptions) (*RunResult, error) {
 	return v.RunWorkflow(w, opts)
 }
 
+// retryPolicy resolves the effective retry policy: the explicit Retry
+// policy when set, otherwise the legacy MaxRetries knob as an
+// immediate-retry (no backoff) policy.
+func (o RunOptions) retryPolicy() faults.RetryPolicy {
+	if o.Retry != nil {
+		return *o.Retry
+	}
+	return faults.RetryPolicy{MaxRetries: o.MaxRetries}
+}
+
 // RunWorkflow executes one invocation of w: instantiate the WFD, run the
 // DAG stage by stage with a barrier between stages, destroy the WFD.
 // This is steps ①-⑦ of Figure 4.
+//
+// Recovery semantics (§3.1): a function attempt that faults (panics) is
+// restarted under the retry policy while the WFD and its intermediate
+// data stay intact. When an instance exhausts its retry budget — or
+// fails with a non-retryable error, including a FuncTimeout deadline —
+// its stage's sibling instances are cancelled and the invocation fails.
+// Cancelling opts.Ctx (or exceeding opts.Deadline) stops all in-flight
+// instances.
 func (v *Visor) RunWorkflow(w *dag.Workflow, opts RunOptions) (*RunResult, error) {
 	stages, err := w.Stages()
 	if err != nil {
 		return nil, err
 	}
+
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var cancel context.CancelFunc
+	if opts.Deadline > 0 {
+		ctx, cancel = context.WithTimeout(ctx, opts.Deadline)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
 
 	start := time.Now()
 	wfd, err := core.Instantiate(core.Options{
@@ -292,7 +350,12 @@ func (v *Visor) RunWorkflow(w *dag.Workflow, opts RunOptions) (*RunResult, error
 	}
 	defer wfd.Destroy()
 
-	res := &RunResult{ColdStart: wfd.ColdStart, Clock: metrics.NewStageClock()}
+	policy := opts.retryPolicy()
+	res := &RunResult{
+		ColdStart:   wfd.ColdStart,
+		Clock:       metrics.NewStageClock(),
+		RetryBudget: policy.MaxRetries,
+	}
 
 	if len(opts.ImportSlots) > 0 {
 		if err := importSlots(wfd, opts.ImportSlots); err != nil {
@@ -309,15 +372,29 @@ func (v *Visor) RunWorkflow(w *dag.Workflow, opts RunOptions) (*RunResult, error
 	var runtimeInit sync.Map
 
 	for si, stage := range stages {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("visor: stage %d not started: %w", si, err)
+		}
 		stageStart := time.Now()
+		// stageCtx lets a terminally failed instance cancel its
+		// in-flight siblings instead of letting them run to completion
+		// on a doomed stage.
+		stageCtx, stageCancel := context.WithCancel(ctx)
 		var wg sync.WaitGroup
-		errCh := make(chan error, 64)
+		total := 0
+		for _, spec := range stage {
+			total += spec.InstancesOf()
+		}
+		// Sized to the stage's instance count: every instance can
+		// deposit its error without blocking even if all of them fail.
+		errCh := make(chan error, total)
 		var doneMu sync.Mutex
 		var firstDone, lastDone time.Time
 
 		for _, spec := range stage {
 			native, vm, err := v.Funcs.lookup(spec.Name, spec.Language)
 			if err != nil {
+				stageCancel()
 				return nil, err
 			}
 			// Propagate run-level knobs into the function parameters so
@@ -333,7 +410,7 @@ func (v *Visor) RunWorkflow(w *dag.Workflow, opts RunOptions) (*RunResult, error
 			}
 			n := spec.InstancesOf()
 			for i := 0; i < n; i++ {
-				ctx := FuncContext{
+				fctx := FuncContext{
 					Workflow:  w.Name,
 					Function:  spec.Name,
 					Instance:  i,
@@ -347,25 +424,11 @@ func (v *Visor) RunWorkflow(w *dag.Workflow, opts RunOptions) (*RunResult, error
 					body := func(env *asstd.Env) error {
 						env.Clock = res.Clock
 						if native != nil {
-							return native(env, ctx)
+							return native(env, fctx)
 						}
-						return runVM(env, ctx, *vm, opts.CostScale, &runtimeInit)
+						return runVM(env, fctx, *vm, opts.CostScale, &runtimeInit)
 					}
-					// Fault tolerance (§3.1): restart the failed
-					// function while the WFD and its intermediate data
-					// are intact. Only faults (panics) are retried;
-					// ordinary errors are programming results.
-					var ferr error
-					for attempt := 0; ; attempt++ {
-						ferr = wfd.Run(ctx.Function, body)
-						if ferr == nil || attempt >= opts.MaxRetries ||
-							!errors.Is(ferr, core.ErrFunctionFault) {
-							break
-						}
-						retryMu.Lock()
-						res.Retries++
-						retryMu.Unlock()
-					}
+					ferr := runInstance(stageCtx, wfd, fctx, body, opts, policy, res, &retryMu)
 					doneMu.Lock()
 					now := time.Now()
 					if firstDone.IsZero() {
@@ -375,13 +438,15 @@ func (v *Visor) RunWorkflow(w *dag.Workflow, opts RunOptions) (*RunResult, error
 					doneMu.Unlock()
 					if ferr != nil {
 						errCh <- ferr
+						stageCancel()
 					}
 				}()
 			}
 		}
 		wg.Wait()
+		stageCancel()
 		close(errCh)
-		for ferr := range errCh {
+		if ferr := pickStageError(errCh); ferr != nil {
 			return nil, fmt.Errorf("visor: stage %d: %w", si, ferr)
 		}
 		// Fan-in synchronisation wait: faster instances idle until the
@@ -403,6 +468,93 @@ func (v *Visor) RunWorkflow(w *dag.Workflow, opts RunOptions) (*RunResult, error
 	res.MemPeak = wfd.MemoryUsage()
 	res.E2E = time.Since(start)
 	return res, nil
+}
+
+// runInstance drives one function instance through the retry policy:
+// consult the fault plan, run the attempt under the per-attempt timeout,
+// and on a fault (panic) back off and restart while the budget and the
+// stage context allow. Only faults are retried; ordinary errors are
+// programming results, and timeouts are not retried because the
+// abandoned attempt may still be executing.
+func runInstance(ctx context.Context, wfd *core.WFD, fctx FuncContext,
+	body func(env *asstd.Env) error, opts RunOptions, policy faults.RetryPolicy,
+	res *RunResult, retryMu *sync.Mutex) error {
+	start := time.Now()
+	var ferr error
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("visor: %s[%d]: %w", fctx.Function, fctx.Instance, err)
+		}
+		attemptBody := body
+		if d := opts.Faults.FuncDelay(fctx.Function, fctx.Instance, attempt); d > 0 {
+			if err := sleepCtx(ctx, d); err != nil {
+				return fmt.Errorf("visor: %s[%d]: %w", fctx.Function, fctx.Instance, err)
+			}
+		}
+		if opts.Faults.FuncPanic(fctx.Function, fctx.Instance, attempt) {
+			a := attempt
+			attemptBody = func(env *asstd.Env) error {
+				panic(fmt.Sprintf("faults: injected panic %s[%d] attempt %d",
+					fctx.Function, fctx.Instance, a))
+			}
+		}
+		ferr = runAttempt(ctx, wfd, fctx.Function, attemptBody, opts.FuncTimeout)
+		if ferr == nil || !errors.Is(ferr, core.ErrFunctionFault) {
+			return ferr
+		}
+		if !policy.Allow(attempt, time.Since(start)) {
+			return ferr
+		}
+		retryMu.Lock()
+		res.Retries++
+		res.RetryWait += policy.Backoff(attempt)
+		retryMu.Unlock()
+		if err := policy.Sleep(ctx, attempt); err != nil {
+			return fmt.Errorf("visor: %s[%d]: %w", fctx.Function, fctx.Instance, err)
+		}
+	}
+}
+
+// runAttempt executes one attempt, bounded by the per-function timeout
+// when set. A timed-out attempt returns an error satisfying
+// errors.Is(err, context.DeadlineExceeded).
+func runAttempt(ctx context.Context, wfd *core.WFD, name string,
+	body func(env *asstd.Env) error, timeout time.Duration) error {
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	return wfd.RunCtx(ctx, name, body)
+}
+
+// sleepCtx sleeps d or returns the context error if cancelled first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// pickStageError selects the most informative error from a failed
+// stage: sibling instances cancelled *because* another instance failed
+// report context.Canceled, which would mask the root cause, so any
+// non-cancellation error wins.
+func pickStageError(errCh <-chan error) error {
+	var first error
+	for ferr := range errCh {
+		if first == nil {
+			first = ferr
+		}
+		if !errors.Is(ferr, context.Canceled) {
+			return ferr
+		}
+	}
+	return first
 }
 
 // runVM executes a guest-tier function: instantiate the ASVM module with

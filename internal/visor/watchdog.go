@@ -1,7 +1,9 @@
 package visor
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -22,6 +24,10 @@ type Watchdog struct {
 	// (disk images, hubs) here.
 	OptionsFor func(workflow string) RunOptions
 
+	// StopGrace bounds how long Stop waits for in-flight invocations to
+	// drain before aborting them (default 10s).
+	StopGrace time.Duration
+
 	srv       *http.Server
 	ln        net.Listener
 	inflight  atomic.Int64
@@ -34,6 +40,7 @@ type InvokeResponse struct {
 	E2EMillis   float64 `json:"e2e_ms"`
 	ColdStartMs float64 `json:"cold_start_ms"`
 	MemPeak     uint64  `json:"mem_peak_bytes"`
+	Retries     int     `json:"retries,omitempty"`
 	Error       string  `json:"error,omitempty"`
 }
 
@@ -59,12 +66,24 @@ func (wd *Watchdog) Start(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// Stop shuts the server down.
+// Stop shuts the server down gracefully: in-flight invocations drain
+// for up to StopGrace before being aborted, so a node restart does not
+// kill running workflows mid-flight.
 func (wd *Watchdog) Stop() error {
 	if wd.srv == nil {
 		return nil
 	}
-	return wd.srv.Close()
+	grace := wd.StopGrace
+	if grace <= 0 {
+		grace = 10 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := wd.srv.Shutdown(ctx); err != nil {
+		// Grace expired with requests still running: abort them.
+		return wd.srv.Close()
+	}
+	return nil
 }
 
 // Addr returns the bound address.
@@ -95,6 +114,10 @@ func (wd *Watchdog) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	if wd.OptionsFor != nil {
 		opts = wd.OptionsFor(name)
 	}
+	if opts.Ctx == nil {
+		// A disconnected client cancels the invocation it requested.
+		opts.Ctx = r.Context()
+	}
 	wd.inflight.Add(1)
 	res, err := wd.visor.Invoke(name, opts)
 	wd.inflight.Add(-1)
@@ -104,14 +127,19 @@ func (wd *Watchdog) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	status := http.StatusOK
 	if err != nil {
 		resp.Error = err.Error()
-		status = http.StatusInternalServerError
-		if err != nil && strings.Contains(err.Error(), "not registered") {
+		switch {
+		case errors.Is(err, ErrUnknownWorkflow) || errors.Is(err, ErrUnknownFunction):
 			status = http.StatusNotFound
+		case errors.Is(err, context.DeadlineExceeded):
+			status = http.StatusGatewayTimeout
+		default:
+			status = http.StatusInternalServerError
 		}
 	} else {
 		resp.E2EMillis = float64(res.E2E) / float64(time.Millisecond)
 		resp.ColdStartMs = float64(res.ColdStart) / float64(time.Millisecond)
 		resp.MemPeak = res.MemPeak
+		resp.Retries = res.Retries
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)

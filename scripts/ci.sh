@@ -1,0 +1,16 @@
+#!/bin/sh
+# CI entry point: build, vet, the full test suite, then the
+# fault-tolerance packages again under the race detector. The chaos
+# soak test only runs in the final (non -short) race pass, so a quick
+# local loop is `go test -short ./...`.
+set -eux
+
+go build ./...
+go vet ./...
+go test -short ./...
+go test -race -count=1 \
+	./internal/faults \
+	./internal/visor \
+	./internal/gateway \
+	./internal/kvstore \
+	./internal/integration
