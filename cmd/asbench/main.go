@@ -26,18 +26,18 @@ var experiments = map[string]struct {
 	fn    func(bench.Options) (*bench.Report, error)
 	about string
 }{
-	"table1":  {bench.Table1, "as-libos modules per serverless function"},
-	"fig2":    {bench.Fig2, "startup latency across software stacks"},
-	"fig3":    {bench.Fig3, "communication primitive latency"},
-	"fig10":   {bench.Fig10, "cold start latency"},
-	"fig11":   {bench.Fig11, "intermediate data transfer latency"},
-	"fig12":   {bench.Fig12, "Rust-tier end-to-end latency"},
-	"fig13":   {bench.Fig13, "C/Python end-to-end latency vs Faasm"},
-	"fig14":   {bench.Fig14, "on-demand loading + reference passing ablation"},
-	"fig15":   {bench.Fig15, "per-stage latency breakdown"},
-	"fig16":   {bench.Fig16, "end-to-end latency on ramfs"},
-	"fig17a":  {bench.Fig17a, "tail latency under load"},
-	"fig17b":  {bench.Fig17b, "CPU and memory usage vs instances"},
+	"table1":   {bench.Table1, "as-libos modules per serverless function"},
+	"fig2":     {bench.Fig2, "startup latency across software stacks"},
+	"fig3":     {bench.Fig3, "communication primitive latency"},
+	"fig10":    {bench.Fig10, "cold start latency"},
+	"fig11":    {bench.Fig11, "intermediate data transfer latency"},
+	"fig12":    {bench.Fig12, "Rust-tier end-to-end latency"},
+	"fig13":    {bench.Fig13, "C/Python end-to-end latency vs Faasm"},
+	"fig14":    {bench.Fig14, "on-demand loading + reference passing ablation"},
+	"fig15":    {bench.Fig15, "per-stage latency breakdown"},
+	"fig16":    {bench.Fig16, "end-to-end latency on ramfs"},
+	"fig17a":   {bench.Fig17a, "tail latency under load"},
+	"fig17b":   {bench.Fig17b, "CPU and memory usage vs instances"},
 	"table4":   {bench.Table4, "LibOS substrate throughput vs host kernel"},
 	"engines":  {bench.Engines, "guest engine ablation (Wasmtime vs WAVM model)"},
 	"recovery": {bench.Recovery, "fault recovery latency (injected panic + retry)"},

@@ -20,6 +20,7 @@ import (
 
 	"alloystack/internal/dag"
 	"alloystack/internal/faults"
+	"alloystack/internal/visor"
 )
 
 func main() {
@@ -87,6 +88,26 @@ func cmdDescribe(args []string) {
 			parts = append(parts, fmt.Sprintf("%s[x%d,%s]", f.Name, f.InstancesOf(), lang))
 		}
 		fmt.Printf("  stage %d: %s\n", i, strings.Join(parts, " "))
+	}
+	// Each dependency edge moves intermediate data through one of the
+	// data plane's transports; the consumer's params (or the default
+	// run configuration) pick which.
+	opts := visor.DefaultRunOptions()
+	printed := false
+	for _, stage := range stages {
+		for _, f := range stage {
+			if len(f.DependsOn) == 0 {
+				continue
+			}
+			if !printed {
+				fmt.Println("  edges:")
+				printed = true
+			}
+			kind := visor.EdgeTransfer(f.Params, opts)
+			for _, dep := range f.DependsOn {
+				fmt.Printf("    %s -> %s: %s\n", dep, f.Name, kind)
+			}
+		}
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"time"
 
 	"alloystack/internal/libos"
@@ -65,7 +66,70 @@ type Env struct {
 
 	// Clock, when set, receives stage accounting (Figure 15).
 	Clock *metrics.StageClock
+
+	// transport, when set by the visor, is the data plane this function
+	// instance moves intermediate data through. Workloads and the WASI
+	// slot bindings route every send/recv through it so all tiers share
+	// one code path.
+	transport Transport
 }
+
+// Transport is the unified data plane seam (ISSUE 2): every path an
+// intermediate payload can take between two functions — AsBuffer
+// reference passing, LibOS file spill, kvstore forwarding, TCP across
+// nodes — implements this one interface. It is declared here (rather
+// than in internal/xfer, which provides the implementations) because
+// Env carries one and Buffer is the zero-copy currency; xfer re-exports
+// it as `xfer.Transport`.
+type Transport interface {
+	// Kind names the path: "refpass", "file", "kv" or "net".
+	Kind() string
+
+	// Send registers data downstream under slot, copying as the path
+	// requires (refpass: one copy into a fresh AsBuffer; file/kv/net:
+	// one copy into the medium).
+	Send(slot string, data []byte) error
+
+	// Alloc returns a buffer registered under slot for the producer to
+	// fill in place — the zero-copy producing path. Transports without
+	// shared memory return a staging buffer that SendBuffer then ships.
+	Alloc(slot string, size uint64) (*Buffer, error)
+
+	// SendBuffer completes a transfer started with Alloc. On the
+	// refpass path this is free (the buffer is already registered); on
+	// spill paths it writes the bytes out and releases the buffer.
+	SendBuffer(b *Buffer) error
+
+	// Recv obtains the payload registered under slot, consuming it.
+	// The release closure must be called when the caller is done with
+	// the returned bytes (it frees the underlying buffer on the
+	// refpass path; elsewhere it is a no-op).
+	Recv(slot string) ([]byte, func() error, error)
+
+	// Free discards the payload registered under slot without reading
+	// it (e.g. a fan-in consumer dropping surplus inputs).
+	Free(slot string) error
+
+	// SendStream opens a chunked writer for payloads larger than one
+	// AsBuffer slot; closing it completes the transfer.
+	SendStream(slot string) (io.WriteCloser, error)
+
+	// RecvStream opens the chunked reader counterpart.
+	RecvStream(slot string) (io.ReadCloser, error)
+}
+
+// SetTransport installs the data plane for this function instance; the
+// visor calls it once per env before user code runs.
+func (e *Env) SetTransport(t Transport) { e.transport = t }
+
+// Transport returns the installed data plane, or nil when the env was
+// built outside the visor (tests construct transports directly).
+func (e *Env) Transport() Transport { return e.transport }
+
+// IFI reports whether inter-function isolation is enabled for this env.
+// The pooled buffer allocator consults it: recycling a buffer across
+// functions would leak a stale key binding under IFI.
+func (e *Env) IFI() bool { return e.ifi }
 
 // EnableIFI gives the env a private protection key; buffers it allocates
 // or acquires are rebound to that key at page granularity.

@@ -247,21 +247,44 @@ func BindWASI(l *asvm.Linker, env *Env) {
 //	                                 guest (frees the cached buffer)
 func BindWASISlots(l *asvm.Linker, env *Env, inSlots, outSlots []string) {
 	BindWASI(l, env)
-	cached := make(map[int64]*Buffer)
 
-	acquire := func(edge int64) (*Buffer, error) {
-		if b, ok := cached[edge]; ok {
-			return b, nil
+	// Inbound payloads are cached between slot_size (peek) and
+	// slot_recv (drain). With a visor-installed transport the payload
+	// arrives through the unified data plane — the same code path the
+	// native tier uses — and the release closure recycles its backing
+	// storage; the direct AsBuffer path remains for envs built outside
+	// the visor. The guest-memory copy itself is inherent to the tier
+	// (guests move data as bytes, §7.2) and is charged to the stage
+	// clock, not to the transport's copy counters.
+	type inbound struct {
+		data    []byte
+		release func() error
+	}
+	cached := make(map[int64]*inbound)
+
+	acquire := func(edge int64) (*inbound, error) {
+		if c, ok := cached[edge]; ok {
+			return c, nil
 		}
 		if edge < 0 || edge >= int64(len(inSlots)) {
 			return nil, fmt.Errorf("%w: in edge %d out of range", errWASI, edge)
 		}
-		b, err := FromSlot(env, inSlots[edge])
-		if err != nil {
-			return nil, err
+		var c *inbound
+		if t := env.Transport(); t != nil {
+			data, release, err := t.Recv(inSlots[edge])
+			if err != nil {
+				return nil, err
+			}
+			c = &inbound{data: data, release: release}
+		} else {
+			b, err := FromSlot(env, inSlots[edge])
+			if err != nil {
+				return nil, err
+			}
+			c = &inbound{data: b.Bytes(), release: b.Free}
 		}
-		cached[edge] = b
-		return b, nil
+		cached[edge] = c
+		return c, nil
 	}
 
 	l.Define("slot_send", func(vm *asvm.Instance, args []int64) (int64, error) {
@@ -273,7 +296,13 @@ func BindWASISlots(l *asvm.Linker, env *Env, inSlots, outSlots []string) {
 		if ptr < 0 || n < 0 || ptr+n > int64(len(mem)) {
 			return -1, fmt.Errorf("%w: slot_send oob", errWASI)
 		}
-		b, err := NewBuffer(env, outSlots[edge], uint64(max64(n, 1)))
+		var b *Buffer
+		var err error
+		if t := env.Transport(); t != nil {
+			b, err = t.Alloc(outSlots[edge], uint64(max64(n, 1)))
+		} else {
+			b, err = NewBuffer(env, outSlots[edge], uint64(max64(n, 1)))
+		}
 		if err != nil {
 			return -1, err
 		}
@@ -282,20 +311,25 @@ func BindWASISlots(l *asvm.Linker, env *Env, inSlots, outSlots []string) {
 		if env.Clock != nil {
 			env.Clock.Add(metrics.StageTransfer, time.Since(start))
 		}
+		if t := env.Transport(); t != nil {
+			if err := t.SendBuffer(b); err != nil {
+				return -1, err
+			}
+		}
 		return 0, nil
 	})
 
 	l.Define("slot_size", func(vm *asvm.Instance, args []int64) (int64, error) {
-		b, err := acquire(args[0])
+		c, err := acquire(args[0])
 		if err != nil {
 			return -1, err
 		}
-		return int64(b.Size()), nil
+		return int64(len(c.data)), nil
 	})
 
 	l.Define("slot_recv", func(vm *asvm.Instance, args []int64) (int64, error) {
 		ptr, capacity, edge := args[0], args[1], args[2]
-		b, err := acquire(edge)
+		c, err := acquire(edge)
 		if err != nil {
 			return -1, err
 		}
@@ -304,12 +338,14 @@ func BindWASISlots(l *asvm.Linker, env *Env, inSlots, outSlots []string) {
 			return -1, fmt.Errorf("%w: slot_recv oob", errWASI)
 		}
 		start := time.Now()
-		n := copy(mem[ptr:ptr+capacity], b.Bytes())
+		n := copy(mem[ptr:ptr+capacity], c.data)
 		if env.Clock != nil {
 			env.Clock.Add(metrics.StageTransfer, time.Since(start))
 		}
 		delete(cached, edge)
-		b.Free()
+		if err := c.release(); err != nil {
+			return -1, err
+		}
 		return int64(n), nil
 	})
 }

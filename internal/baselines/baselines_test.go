@@ -9,6 +9,7 @@ import (
 
 	"alloystack/internal/dag"
 	"alloystack/internal/workloads"
+	"alloystack/internal/xfer"
 )
 
 func newTestRunner(t *testing.T, sys System, lang string, mutate func(*Config)) (*Runner, *bytes.Buffer) {
@@ -167,16 +168,25 @@ func TestColdStartCharging(t *testing.T) {
 func TestOpenFaaSUsesRealStore(t *testing.T) {
 	r, _ := newTestRunner(t, SysOpenFaaS, "native", nil)
 	w := workloads.Pipe(8192, "native")
-	if _, err := r.RunWorkflow(w); err != nil {
+	res, err := r.RunWorkflow(w)
+	if err != nil {
 		t.Fatal(err)
 	}
-	// After the run the consumed slots may remain in the store (GET
-	// doesn't delete); what matters is the store was actually used.
+	// The kv transport consumes slots on Recv, so the store drains back
+	// to empty on a clean run; the transfer counters prove the payloads
+	// actually round-tripped through it.
 	if r.store == nil {
 		t.Fatal("OpenFaaS runner has no store")
 	}
-	if r.store.Keys() == 0 {
-		t.Fatal("no keys ever reached the store: transfers bypassed Redis")
+	kv := res.Transfer.Kind(xfer.KindKV)
+	if kv.Ops == 0 || kv.Bytes == 0 {
+		t.Fatalf("no traffic through the store transport: %+v", kv)
+	}
+	if kv.Copies < 2 {
+		t.Fatalf("store-mediated path should cost >=2 copies, got %d", kv.Copies)
+	}
+	if r.store.Keys() != 0 {
+		t.Fatalf("store not drained after run: %d keys left", r.store.Keys())
 	}
 }
 

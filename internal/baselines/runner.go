@@ -15,6 +15,7 @@ import (
 	"alloystack/internal/kvstore"
 	"alloystack/internal/metrics"
 	"alloystack/internal/visor"
+	"alloystack/internal/xfer"
 )
 
 // Errors returned by the baseline runner.
@@ -47,6 +48,11 @@ type Result struct {
 	E2E       time.Duration
 	ColdStart time.Duration
 	Clock     *metrics.StageClock
+	// Transfer counts data-plane traffic by transport kind: "kv" for
+	// store-mediated edges (shared with the unified data plane), plus
+	// the baseline-only kinds "local" (in-process reference/shared
+	// mapping) and "ipc" (Faastlane pipes).
+	Transfer *metrics.TransportStats
 }
 
 // Runner executes workflows on one modelled baseline platform. The
@@ -167,8 +173,16 @@ func (r *Runner) RunWorkflow(w *dag.Workflow) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Clock: metrics.NewStageClock()}
+	res := &Result{Clock: metrics.NewStageClock(), Transfer: metrics.NewTransportStats()}
 	start := time.Now()
+
+	// Store-mediated edges ride the same kv transport the unified data
+	// plane uses, so the copy accounting is directly comparable with
+	// AlloyStack runs (Figure 11's copies column).
+	var kvT xfer.Transport
+	if r.client != nil {
+		kvT = xfer.NewKV(r.client, nil, res.Transfer)
+	}
 
 	// Faastlane switches from reference passing to IPC when the
 	// workflow has parallel execution phases (§8.1: it forks a
@@ -226,7 +240,7 @@ func (r *Runner) RunWorkflow(w *dag.Workflow) (*Result, error) {
 					if anyParallel && r.ipcMode() {
 						charge(r.cfg.Costs.FaastlaneFork, r.cfg.CostScale)
 					}
-					p := &Platform{r: r, ctx: ctx, clock: res.Clock, parallel: anyParallel}
+					p := &Platform{r: r, ctx: ctx, clock: res.Clock, parallel: anyParallel, kv: kvT, stats: res.Transfer}
 					if err := r.execute(p); err != nil {
 						errCh <- err
 					}
@@ -269,6 +283,8 @@ type Platform struct {
 	ctx      visor.FuncContext
 	clock    *metrics.StageClock
 	parallel bool
+	kv       xfer.Transport          // store-mediated edges (nil when no store)
+	stats    *metrics.TransportStats // local/ipc copy accounting
 }
 
 // Ctx exposes the function context.
@@ -317,6 +333,14 @@ func (p *Platform) Print(format string, args ...any) {
 	fmt.Fprintf(p.r.cfg.Stdout, format, args...)
 }
 
+// Baseline-only transport kinds recorded in Result.Transfer alongside
+// the shared xfer kinds: "local" is in-process hand-off (reference or
+// shared mapping), "ipc" is a Faastlane pipe hop.
+const (
+	kindLocal = "local"
+	kindIPC   = "ipc"
+)
+
 // Send moves intermediate data downstream under slot via the platform's
 // transfer mechanism.
 func (p *Platform) Send(slot string, data []byte) error {
@@ -324,28 +348,33 @@ func (p *Platform) Send(slot string, data []byte) error {
 	defer func() { p.clock.Add(metrics.StageTransfer, time.Since(start)) }()
 	switch p.r.cfg.System {
 	case SysOpenFaaS, SysOpenFaaSGVisor:
-		// Third-party forwarding through the real TCP store.
-		return p.r.client.Set(slot, data)
+		// Third-party forwarding through the real TCP store: the same
+		// kv transport AlloyStack's kv mode uses, so the copy counters
+		// line up across systems.
+		return p.kv.Send(slot, data)
 	case SysFaasm:
 		// Two-tier state (§8.3): functions co-located on one worker
 		// share a local mapping (page faults charged); edges crossing
 		// workers go through the distributed store over real TCP.
 		if p.r.crossWorker(slot) {
-			return p.r.client.Set(slot, data)
+			return p.kv.Send(slot, data)
 		}
 		charge(time.Duration(int64(len(data)+4095)/4096)*p.r.cfg.Costs.FaasmPageFault, p.r.cfg.CostScale)
 		p.r.setLocal(slot, data, true)
+		p.stats.CountOp(kindLocal, int64(len(data)), 1) // copy into the shared mapping
 		return nil
 	case SysFaastlaneIPC:
-		return p.r.pipeSend(slot, data)
+		return p.pipeSend(slot, data)
 	case SysFaastlane:
 		if p.parallel {
-			return p.r.pipeSend(slot, data)
+			return p.pipeSend(slot, data)
 		}
 		p.r.setLocal(slot, data, false)
+		p.stats.CountOp(kindLocal, int64(len(data)), 0) // ownership transfer
 		return nil
 	default: // Faastlane-refer and -kata variants: reference passing
 		p.r.setLocal(slot, data, false)
+		p.stats.CountOp(kindLocal, int64(len(data)), 0)
 		return nil
 	}
 }
@@ -356,35 +385,68 @@ func (p *Platform) Recv(slot string) ([]byte, error) {
 	defer func() { p.clock.Add(metrics.StageTransfer, time.Since(start)) }()
 	switch p.r.cfg.System {
 	case SysOpenFaaS, SysOpenFaaSGVisor:
-		data, err := p.r.client.Get(slot)
-		if err != nil {
-			return nil, fmt.Errorf("%w: %s (%v)", ErrSlotMissing, slot, err)
-		}
-		return data, nil
+		return p.recvKV(slot)
 	case SysFaasm:
 		if p.r.crossWorker(slot) {
-			data, err := p.r.client.Get(slot)
-			if err != nil {
-				return nil, fmt.Errorf("%w: %s (%v)", ErrSlotMissing, slot, err)
-			}
-			return data, nil
+			return p.recvKV(slot)
 		}
 		data, err := p.r.takeLocal(slot)
 		if err != nil {
 			return nil, err
 		}
 		charge(time.Duration(int64(len(data)+4095)/4096)*p.r.cfg.Costs.FaasmPageFault, p.r.cfg.CostScale)
+		p.stats.CountOp(kindLocal, int64(len(data)), 0) // faulted in, not copied
 		return data, nil
 	case SysFaastlaneIPC:
-		return p.r.pipeRecv(slot)
+		return p.pipeRecv(slot)
 	case SysFaastlane:
 		if p.parallel {
-			return p.r.pipeRecv(slot)
+			return p.pipeRecv(slot)
 		}
-		return p.r.takeLocal(slot)
+		return p.recvLocal(slot)
 	default:
-		return p.r.takeLocal(slot)
+		return p.recvLocal(slot)
 	}
+}
+
+// recvKV pulls one payload through the shared kv transport, translating
+// its missing-slot error into the baseline package's sentinel.
+func (p *Platform) recvKV(slot string) ([]byte, error) {
+	data, release, err := p.kv.Recv(slot)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s (%v)", ErrSlotMissing, slot, err)
+	}
+	if err := release(); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// recvLocal consumes an in-process reference-passed slot.
+func (p *Platform) recvLocal(slot string) ([]byte, error) {
+	data, err := p.r.takeLocal(slot)
+	if err != nil {
+		return nil, err
+	}
+	p.stats.CountOp(kindLocal, int64(len(data)), 0)
+	return data, nil
+}
+
+// pipeSend counts the serialisation copy onto the pipe before handing
+// the bytes to the runner's real os.Pipe machinery.
+func (p *Platform) pipeSend(slot string, data []byte) error {
+	p.stats.CountOp(kindIPC, int64(len(data)), 1)
+	return p.r.pipeSend(slot, data)
+}
+
+// pipeRecv counts the deserialisation copy off the pipe.
+func (p *Platform) pipeRecv(slot string) ([]byte, error) {
+	data, err := p.r.pipeRecv(slot)
+	if err != nil {
+		return nil, err
+	}
+	p.stats.CountOp(kindIPC, int64(len(data)), 1)
+	return data, nil
 }
 
 // ipcMode reports whether this platform moves parallel-phase data over

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -81,11 +82,24 @@ func TestFig10Smoke(t *testing.T) {
 
 func TestFig11Smoke(t *testing.T) {
 	rep := runExp(t, "fig11", Fig11)
-	if len(rep.Rows) != 4 {
+	if len(rep.Rows) != 5 { // 4 sizes + copies row
 		t.Fatalf("fig11 rows = %d", len(rep.Rows))
 	}
 	if len(rep.Rows[0]) != 9 {
 		t.Fatalf("fig11 cols = %d", len(rep.Rows[0]))
+	}
+	// The trailing row reports payload copies from the data-plane
+	// counters: zero under reference passing (AS, column 1), at least
+	// two via the external store (OpenFaaS, last column).
+	copies := rep.Rows[len(rep.Rows)-1]
+	if copies[0] != "copies" || len(copies) != 9 {
+		t.Fatalf("fig11 copies row malformed: %v", copies)
+	}
+	if copies[1] != "0" {
+		t.Fatalf("AS refpass copies = %s, want 0", copies[1])
+	}
+	if n, err := strconv.Atoi(copies[len(copies)-1]); err != nil || n < 2 {
+		t.Fatalf("OpenFaaS copies = %s, want >=2", copies[len(copies)-1])
 	}
 }
 

@@ -24,11 +24,15 @@ func Fig11(o Options) (*Report, error) {
 		Notes: []string{
 			"values are total transfer-stage time in microseconds (write begins to read completes)",
 			"paper @16MB: AS 951us, AS-C 697us, AS-Py 9631us; AS beats Faastlane above 4KB",
+			"final row: payload copies per transfer from the data-plane counters —",
+			"0 under reference passing, >=2 when an external store mediates the edge",
 		},
 	}
 	v := newAlloyVisor()
+	var copiesRow []string
 	for _, size := range sizes {
 		row := []string{humanBytes(size)}
+		copiesRow = []string{"copies"}
 		// AlloyStack native.
 		for _, mode := range []struct {
 			ifi  bool
@@ -50,6 +54,7 @@ func Fig11(o Options) (*Report, error) {
 				return nil, fmt.Errorf("fig11 AS %s size %d: %w", mode.lang, size, err)
 			}
 			row = append(row, us(res.Clock.Total(metrics.StageTransfer)))
+			copiesRow = append(copiesRow, fmt.Sprint(res.Transfer.Totals().Copies))
 		}
 		// Baselines.
 		for _, bl := range []struct {
@@ -67,9 +72,11 @@ func Fig11(o Options) (*Report, error) {
 				return nil, fmt.Errorf("fig11 %s size %d: %w", bl.sys, size, err)
 			}
 			row = append(row, us(res.Clock.Total(metrics.StageTransfer)))
+			copiesRow = append(copiesRow, fmt.Sprint(res.Transfer.Totals().Copies))
 		}
 		rep.Rows = append(rep.Rows, row)
 	}
+	rep.Rows = append(rep.Rows, copiesRow)
 	return emit(o, rep), nil
 }
 
@@ -249,10 +256,11 @@ func Fig14(o Options) (*Report, error) {
 	rep := &Report{
 		ID:     "fig14",
 		Title:  "contribution of on-demand loading and reference passing (paper Fig 14)",
-		Header: []string{"Workload", "base (ms)", "+on-demand (ms)", "+ref-passing (ms)", "+both (ms)", "on-demand save", "ref-pass save"},
+		Header: []string{"Workload", "base (ms)", "+on-demand (ms)", "+ref-passing (ms)", "+both (ms)", "on-demand save", "ref-pass save", "copies base", "copies +both"},
 		Notes: []string{
 			"paper: on-demand loading cuts 40.2-48.0% of latency; reference passing 34.7-51.0%",
 			"disabled reference passing routes intermediate data through fatfs files",
+			"copies columns: total payload copies counted by the data plane (file spill vs refpass)",
 		},
 	}
 	v := newAlloyVisor()
@@ -260,6 +268,7 @@ func Fig14(o Options) (*Report, error) {
 		size := o.size(c.paperSize)
 		row := []string{c.label(size)}
 		times := make([]time.Duration, len(arms))
+		copies := make([]int64, len(arms))
 		for i, arm := range arms {
 			res, err := runAlloyConfig(o, v, c, "native", size, func(r *visor.RunOptions) {
 				r.OnDemand = arm.onDemand
@@ -274,11 +283,13 @@ func Fig14(o Options) (*Report, error) {
 				return nil, fmt.Errorf("fig14 %s %s: %w", arm.name, c.label(size), err)
 			}
 			times[i] = res.E2E
+			copies[i] = res.Transfer.Totals().Copies
 			row = append(row, ms(res.E2E))
 		}
 		odSave := 1 - float64(times[1])/float64(times[0])
 		rpSave := 1 - float64(times[2])/float64(times[0])
-		row = append(row, fmt.Sprintf("%.1f%%", odSave*100), fmt.Sprintf("%.1f%%", rpSave*100))
+		row = append(row, fmt.Sprintf("%.1f%%", odSave*100), fmt.Sprintf("%.1f%%", rpSave*100),
+			fmt.Sprint(copies[0]), fmt.Sprint(copies[len(arms)-1]))
 		rep.Rows = append(rep.Rows, row)
 	}
 	return emit(o, rep), nil

@@ -169,6 +169,113 @@ func (c *StageClock) Breakdown() map[string]time.Duration {
 	return out
 }
 
+// TransportKind is one row of a TransportStats table: the per-transport
+// counters backing the copies-per-byte column of the Figure 11/14
+// reports. Payload copies are charged by the transport implementations
+// themselves (internal/xfer): the refpass path charges zero for
+// in-place buffer handoff, while store-mediated paths charge one copy
+// per direction.
+type TransportKind struct {
+	Bytes       int64 // payload bytes moved through Send/Recv
+	Copies      int64 // payload copies made end to end
+	Ops         int64 // Send+Recv operations completed
+	SlotsReused int64 // buffers recycled by the pooled allocator
+}
+
+// TransportStats aggregates per-kind transfer counters for one run.
+// Safe for concurrent use by parallel stage instances.
+type TransportStats struct {
+	mu    sync.Mutex
+	kinds map[string]*TransportKind
+}
+
+// NewTransportStats returns an empty counter table.
+func NewTransportStats() *TransportStats {
+	return &TransportStats{kinds: make(map[string]*TransportKind)}
+}
+
+func (t *TransportStats) kind(kind string) *TransportKind {
+	k, ok := t.kinds[kind]
+	if !ok {
+		k = &TransportKind{}
+		t.kinds[kind] = k
+	}
+	return k
+}
+
+// CountOp charges one transfer operation moving n payload bytes with
+// the given number of payload copies.
+func (t *TransportStats) CountOp(kind string, bytes, copies int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	k := t.kind(kind)
+	k.Bytes += bytes
+	k.Copies += copies
+	k.Ops++
+	t.mu.Unlock()
+}
+
+// CountReuse records that the pooled allocator recycled a buffer.
+func (t *TransportStats) CountReuse(kind string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.kind(kind).SlotsReused++
+	t.mu.Unlock()
+}
+
+// Kind returns a snapshot of the counters for one transport kind.
+func (t *TransportStats) Kind(kind string) TransportKind {
+	if t == nil {
+		return TransportKind{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if k, ok := t.kinds[kind]; ok {
+		return *k
+	}
+	return TransportKind{}
+}
+
+// Kinds returns a snapshot of all per-kind counters.
+func (t *TransportStats) Kinds() map[string]TransportKind {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]TransportKind, len(t.kinds))
+	for name, k := range t.kinds {
+		out[name] = *k
+	}
+	return out
+}
+
+// Totals sums the counters across every transport kind.
+func (t *TransportStats) Totals() TransportKind {
+	var sum TransportKind
+	for _, k := range t.Kinds() {
+		sum.Bytes += k.Bytes
+		sum.Copies += k.Copies
+		sum.Ops += k.Ops
+		sum.SlotsReused += k.SlotsReused
+	}
+	return sum
+}
+
+// CopiesPerByte reports payload copies divided by payload bytes for one
+// kind — the auditable zero-copy figure (0 on the refpass path).
+func (t *TransportStats) CopiesPerByte(kind string) float64 {
+	k := t.Kind(kind)
+	if k.Bytes == 0 {
+		return 0
+	}
+	return float64(k.Copies) / float64(k.Bytes)
+}
+
 // ResourceMeter aggregates modelled CPU time and peak memory across the
 // components of one experiment run. Real hardware counters are not
 // available to a simulation, so each subsystem charges what it models:

@@ -91,6 +91,88 @@ func TestRecorderConcurrent(t *testing.T) {
 	}
 }
 
+// TestStageClockConcurrent exercises parallel stage instances charging
+// one shared clock — the shared-writer shape PR 1 fixed in libos stdio.
+// Run under -race (scripts/ci.sh includes this package).
+func TestStageClockConcurrent(t *testing.T) {
+	c := NewStageClock()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Add(StageCompute, time.Microsecond)
+				c.Add(StageTransfer, 2*time.Microsecond)
+				_ = c.Total(StageCompute)
+				_ = c.Breakdown()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Total(StageCompute); got != 1600*time.Microsecond {
+		t.Fatalf("compute total = %v, want 1.6ms", got)
+	}
+	if got := c.Total(StageTransfer); got != 3200*time.Microsecond {
+		t.Fatalf("transfer total = %v, want 3.2ms", got)
+	}
+}
+
+func TestTransportStats(t *testing.T) {
+	s := NewTransportStats()
+	s.CountOp("kv", 1024, 1)
+	s.CountOp("kv", 1024, 1)
+	s.CountOp("refpass", 4096, 0)
+	s.CountReuse("refpass")
+	kv := s.Kind("kv")
+	if kv.Bytes != 2048 || kv.Copies != 2 || kv.Ops != 2 {
+		t.Fatalf("kv counters = %+v", kv)
+	}
+	rp := s.Kind("refpass")
+	if rp.Copies != 0 || rp.SlotsReused != 1 {
+		t.Fatalf("refpass counters = %+v", rp)
+	}
+	tot := s.Totals()
+	if tot.Bytes != 6144 || tot.Copies != 2 || tot.Ops != 3 {
+		t.Fatalf("totals = %+v", tot)
+	}
+	if got := s.CopiesPerByte("refpass"); got != 0 {
+		t.Fatalf("refpass copies/byte = %v, want 0", got)
+	}
+}
+
+// TestTransportStatsNilAndConcurrent: a nil stats sink is a no-op (the
+// transports pass one through unconditionally), and a shared sink is
+// race-free across parallel stage instances.
+func TestTransportStatsNilAndConcurrent(t *testing.T) {
+	var nilStats *TransportStats
+	nilStats.CountOp("kv", 1, 1) // must not panic
+	nilStats.CountReuse("kv")
+	if k := nilStats.Kind("kv"); k.Ops != 0 {
+		t.Fatalf("nil stats returned %+v", k)
+	}
+
+	s := NewTransportStats()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				s.CountOp("net", 10, 1)
+				s.CountReuse("net")
+				_ = s.Kinds()
+				_ = s.Totals()
+			}
+		}()
+	}
+	wg.Wait()
+	k := s.Kind("net")
+	if k.Ops != 1600 || k.Bytes != 16000 || k.SlotsReused != 1600 {
+		t.Fatalf("concurrent counters = %+v", k)
+	}
+}
+
 func TestStageClock(t *testing.T) {
 	c := NewStageClock()
 	c.Add(StageReadInput, 10*time.Millisecond)

@@ -7,6 +7,7 @@ import (
 	"alloystack/internal/asstd"
 	"alloystack/internal/dag"
 	"alloystack/internal/libos"
+	"alloystack/internal/xfer"
 )
 
 // This file implements the paper's §9 distributed/multi-node setting:
@@ -105,22 +106,25 @@ func CrossSlots(w *dag.Workflow, cut int) ([]string, error) {
 }
 
 // exportSlots drains the named slots out of the WFD into plain byte
-// slices (copies: the data is leaving the address space).
+// slices (copies: the data is leaving the address space). The boundary
+// buffers are read through the refpass transport so the drain shows up
+// in the run's transfer counters like any other edge.
 func exportSlots(wfd wfdRunner, slots []string) (map[string][]byte, error) {
 	out := make(map[string][]byte)
 	err := wfd.Run("__bridge-export", func(env *asstd.Env) error {
+		tr := xfer.NewRefpass(env, nil, nil)
 		for _, slot := range slots {
-			b, err := asstd.FromSlot(env, slot)
+			src, release, err := tr.Recv(slot)
 			if err != nil {
 				if errors.Is(err, libos.ErrSlotMissing) {
 					continue // candidate pair the workload never used
 				}
 				return err
 			}
-			data := make([]byte, len(b.Bytes()))
-			copy(data, b.Bytes())
+			data := make([]byte, len(src))
+			copy(data, src)
 			out[slot] = data
-			if err := b.Free(); err != nil {
+			if err := release(); err != nil {
 				return err
 			}
 		}
@@ -129,23 +133,84 @@ func exportSlots(wfd wfdRunner, slots []string) (map[string][]byte, error) {
 	return out, err
 }
 
+// exportVia drains the named slots straight through an outbound
+// transport (the net transport to a remote bridge): acquire the
+// boundary buffer, ship its bytes, free it. Slots the workload never
+// registered are skipped, like exportSlots.
+func exportVia(wfd wfdRunner, tr xfer.Transport, slots []string) error {
+	return wfd.Run("__bridge-export", func(env *asstd.Env) error {
+		local := xfer.NewRefpass(env, nil, nil)
+		for _, slot := range slots {
+			src, release, err := local.Recv(slot)
+			if err != nil {
+				if errors.Is(err, libos.ErrSlotMissing) {
+					continue
+				}
+				return err
+			}
+			if err := tr.Send(slot, src); err != nil {
+				release()
+				return err
+			}
+			if err := release(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
 // importSlots registers incoming intermediate data as AsBuffers before
 // the subgraph's functions run.
 func importSlots(wfd wfdRunner, slots map[string][]byte) error {
 	return wfd.Run("__bridge-import", func(env *asstd.Env) error {
 		for slot, data := range slots {
-			size := uint64(len(data))
-			if size == 0 {
-				size = 1
-			}
-			b, err := asstd.NewBuffer(env, slot, size)
-			if err != nil {
+			if err := registerImport(env, slot, data); err != nil {
 				return err
 			}
-			copy(b.Bytes(), data)
 		}
 		return nil
 	})
+}
+
+// importVia pulls the named slots from an inbound transport (the net
+// transport from a remote bridge) and registers them as AsBuffers.
+// Names absent on the far side are skipped — they mirror the export
+// side's never-registered candidate pairs.
+func importVia(wfd wfdRunner, tr xfer.Transport, names []string) error {
+	return wfd.Run("__bridge-import", func(env *asstd.Env) error {
+		for _, slot := range names {
+			data, release, err := tr.Recv(slot)
+			if err != nil {
+				if errors.Is(err, libos.ErrSlotMissing) {
+					continue
+				}
+				return err
+			}
+			if err := registerImport(env, slot, data); err != nil {
+				release()
+				return err
+			}
+			if err := release(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// registerImport parks one payload in a slot-registered AsBuffer.
+func registerImport(env *asstd.Env, slot string, data []byte) error {
+	size := uint64(len(data))
+	if size == 0 {
+		size = 1
+	}
+	b, err := asstd.NewBuffer(env, slot, size)
+	if err != nil {
+		return err
+	}
+	copy(b.Bytes(), data)
+	return nil
 }
 
 // wfdRunner is the subset of core.WFD the bridge needs (kept as an

@@ -24,6 +24,7 @@ import (
 	"alloystack/internal/metrics"
 	"alloystack/internal/netstack"
 	"alloystack/internal/ramfs"
+	"alloystack/internal/xfer"
 )
 
 // Errors returned by the visor.
@@ -183,6 +184,20 @@ type RunOptions struct {
 	// files as an intermediary mechanism").
 	RefPassing bool
 
+	// Transfer pins the data plane for intermediate data to one of
+	// xfer.Kinds ("refpass", "file", "kv", "net"). Empty resolves from
+	// RefPassing: refpass when set, the file spill path otherwise. A
+	// function spec can override per edge with Params["transfer"].
+	Transfer string
+
+	// KV backs Transfer="kv": the store client payloads round-trip
+	// through (the OpenFaaS/Faasm-style third-party forwarding path).
+	KV xfer.KVClient
+
+	// Peer backs Transfer="net" and the ExportPeer/ImportPeer bridge
+	// hooks below: a framed connection to an xfer.Bridge.
+	Peer *xfer.Peer
+
 	// MaxRetries restarts a function instance that faults (panics) up
 	// to this many extra times, provided the WFD survived — the paper's
 	// §3.1 retry-based fault tolerance for idempotent functions.
@@ -214,6 +229,17 @@ type RunOptions struct {
 	// bridging, §9 — see SplitAt/CrossSlots).
 	ImportSlots map[string][]byte
 	ExportSlots []string
+
+	// ExportPeer, when set, ships ExportSlots through the net
+	// transport to the far side's xfer.Bridge instead of returning
+	// them in RunResult.Exports — the §9 multi-node cut over a real
+	// byte stream. ImportPeer is the receiving half: ImportNames are
+	// pulled from the bridge and registered as AsBuffers before the
+	// first stage (names absent on the bridge are skipped, mirroring
+	// the export side's never-registered slots).
+	ExportPeer  *xfer.Peer
+	ImportPeer  *xfer.Peer
+	ImportNames []string
 }
 
 // DefaultRunOptions are the paper's standard AlloyStack configuration.
@@ -246,6 +272,26 @@ type RunResult struct {
 	RetryWait time.Duration
 	// Exports carries the drained ExportSlots data (multi-node bridge).
 	Exports map[string][]byte
+	// Transfer aggregates per-transport counters (bytes moved, copies
+	// made, slots reused) for the run's data plane.
+	Transfer *metrics.TransportStats
+}
+
+// EdgeTransfer resolves which transport kind a function's edges use:
+// the spec's "transfer" param wins, then the run-level Transfer knob,
+// then the RefPassing default (refpass on, file spill off). asctl
+// describe uses the same resolution to audit configs before invocation.
+func EdgeTransfer(params map[string]string, opts RunOptions) string {
+	if v := params["transfer"]; v != "" {
+		return v
+	}
+	if opts.Transfer != "" {
+		return opts.Transfer
+	}
+	if opts.RefPassing {
+		return xfer.KindRefpass
+	}
+	return xfer.KindFile
 }
 
 // Visor drives workflow execution on one node.
@@ -355,11 +401,29 @@ func (v *Visor) RunWorkflow(w *dag.Workflow, opts RunOptions) (*RunResult, error
 		ColdStart:   wfd.ColdStart,
 		Clock:       metrics.NewStageClock(),
 		RetryBudget: policy.MaxRetries,
+		Transfer:    metrics.NewTransportStats(),
+	}
+
+	// Data-plane resources shared by every function instance of this
+	// run: one buffer pool (freed AsBuffers serve later stages), one
+	// spill-path registry (cross-stage 8.3 collisions surface), one
+	// counter table.
+	plane := runPlane{
+		pool:  xfer.NewBufPool(),
+		paths: xfer.NewPathRegistry(),
+		stats: res.Transfer,
+		opts:  opts,
 	}
 
 	if len(opts.ImportSlots) > 0 {
 		if err := importSlots(wfd, opts.ImportSlots); err != nil {
 			return nil, fmt.Errorf("visor: import slots: %w", err)
+		}
+	}
+	if opts.ImportPeer != nil && len(opts.ImportNames) > 0 {
+		tr := xfer.NewNet(opts.ImportPeer, nil, res.Transfer)
+		if err := importVia(wfd, tr, opts.ImportNames); err != nil {
+			return nil, fmt.Errorf("visor: import via net: %w", err)
 		}
 	}
 
@@ -418,11 +482,17 @@ func (v *Visor) RunWorkflow(w *dag.Workflow, opts RunOptions) (*RunResult, error
 					Stage:     si,
 					Params:    params,
 				}
+				kind := EdgeTransfer(params, opts)
 				wg.Add(1)
 				go func() {
 					defer wg.Done()
 					body := func(env *asstd.Env) error {
 						env.Clock = res.Clock
+						tr, terr := plane.transport(kind, env)
+						if terr != nil {
+							return terr
+						}
+						env.SetTransport(tr)
 						if native != nil {
 							return native(env, fctx)
 						}
@@ -458,16 +528,45 @@ func (v *Visor) RunWorkflow(w *dag.Workflow, opts RunOptions) (*RunResult, error
 	}
 
 	if len(opts.ExportSlots) > 0 {
-		exports, err := exportSlots(wfd, opts.ExportSlots)
-		if err != nil {
-			return nil, fmt.Errorf("visor: export slots: %w", err)
+		if opts.ExportPeer != nil {
+			tr := xfer.NewNet(opts.ExportPeer, nil, res.Transfer)
+			if err := exportVia(wfd, tr, opts.ExportSlots); err != nil {
+				return nil, fmt.Errorf("visor: export via net: %w", err)
+			}
+		} else {
+			exports, err := exportSlots(wfd, opts.ExportSlots)
+			if err != nil {
+				return nil, fmt.Errorf("visor: export slots: %w", err)
+			}
+			res.Exports = exports
 		}
-		res.Exports = exports
 	}
 
 	res.MemPeak = wfd.MemoryUsage()
 	res.E2E = time.Since(start)
 	return res, nil
+}
+
+// runPlane carries the per-run shared halves of the data plane; the
+// per-env transport wrappers built around them are cheap.
+type runPlane struct {
+	pool  *xfer.BufPool
+	paths *xfer.PathRegistry
+	stats *metrics.TransportStats
+	opts  RunOptions
+}
+
+// transport builds the env-bound transport of the given kind, sharing
+// the run-wide pool, path registry, store client and peer connection.
+func (p runPlane) transport(kind string, env *asstd.Env) (xfer.Transport, error) {
+	return xfer.New(kind, xfer.Config{
+		Env:   env,
+		Pool:  p.pool,
+		Paths: p.paths,
+		KV:    p.opts.KV,
+		Peer:  p.opts.Peer,
+		Stats: p.stats,
+	})
 }
 
 // runInstance drives one function instance through the retry policy:

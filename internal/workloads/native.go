@@ -87,20 +87,21 @@ func httpServerFn(env *asstd.Env, ctx visor.FuncContext) error {
 func pipeSendFn(env *asstd.Env, ctx visor.FuncContext) error {
 	size := uint64(ctx.ParamInt("size", 4096))
 	slot := visor.Slot("pipe-send", 0, "pipe-recv", 0)
-	if refPassing(ctx) {
-		b, err := newOutput(env, ctx, slot, size)
+	t := tp(env, ctx)
+	if refPassing(env, ctx) {
+		b, err := t.Alloc(slot, size)
 		if err != nil {
 			return err
 		}
 		return timeStage(env, metrics.StageTransfer, func() error {
 			fillPattern(b.Bytes())
-			return sendBuffer(env, ctx, b)
+			return t.SendBuffer(b)
 		})
 	}
 	data := make([]byte, size)
 	return timeStage(env, metrics.StageTransfer, func() error {
 		fillPattern(data)
-		return send(env, ctx, slot, data)
+		return t.Send(slot, data)
 	})
 }
 
@@ -109,7 +110,7 @@ func pipeSendFn(env *asstd.Env, ctx visor.FuncContext) error {
 func pipeRecvFn(env *asstd.Env, ctx visor.FuncContext) error {
 	slot := visor.Slot("pipe-send", 0, "pipe-recv", 0)
 	return timeStage(env, metrics.StageTransfer, func() error {
-		data, done, err := recv(env, ctx, slot)
+		data, done, err := tp(env, ctx).Recv(slot)
 		if err != nil {
 			return err
 		}
@@ -164,23 +165,24 @@ func chainFn(env *asstd.Env, ctx visor.FuncContext) error {
 	outSlot := visor.Slot(ctx.Function, 0, fmt.Sprintf("chain-%d", idx+1), 0)
 	inSlot := visor.Slot(fmt.Sprintf("chain-%d", idx-1), 0, ctx.Function, 0)
 
+	t := tp(env, ctx)
 	if idx == 0 {
 		return timeStage(env, metrics.StageTransfer, func() error {
-			if refPassing(ctx) {
-				b, err := newOutput(env, ctx, outSlot, size)
+			if refPassing(env, ctx) {
+				b, err := t.Alloc(outSlot, size)
 				if err != nil {
 					return err
 				}
 				fillPattern(b.Bytes())
-				return sendBuffer(env, ctx, b)
+				return t.SendBuffer(b)
 			}
 			data := make([]byte, size)
 			fillPattern(data)
-			return send(env, ctx, outSlot, data)
+			return t.Send(outSlot, data)
 		})
 	}
 
-	if refPassing(ctx) {
+	if refPassing(env, ctx) {
 		b, err := asstd.FromSlot(env, inSlot)
 		if err != nil {
 			return err
@@ -205,8 +207,8 @@ func chainFn(env *asstd.Env, ctx visor.FuncContext) error {
 		})
 	}
 
-	// File-mediated fallback: read back, then write forward.
-	data, done, err := recv(env, ctx, inSlot)
+	// Copy-mediated fallback (file/kv/net): read back, write forward.
+	data, done, err := t.Recv(inSlot)
 	if err != nil {
 		return err
 	}
@@ -215,7 +217,7 @@ func chainFn(env *asstd.Env, ctx visor.FuncContext) error {
 		return nil
 	}
 	return timeStage(env, metrics.StageTransfer, func() error {
-		return send(env, ctx, outSlot, data)
+		return t.Send(outSlot, data)
 	})
 }
 
@@ -237,9 +239,10 @@ func wcSplitFn(env *asstd.Env, ctx visor.FuncContext) error {
 		return err
 	}
 	chunks := SplitTextChunks(text, mappers)
+	t := tp(env, ctx)
 	return timeStage(env, metrics.StageTransfer, func() error {
 		for i, chunk := range chunks {
-			if err := send(env, ctx, visor.Slot("wc-split", 0, "wc-map", i), chunk); err != nil {
+			if err := t.Send(visor.Slot("wc-split", 0, "wc-map", i), chunk); err != nil {
 				return err
 			}
 		}
@@ -250,7 +253,8 @@ func wcSplitFn(env *asstd.Env, ctx visor.FuncContext) error {
 // wcMapFn counts words in its chunk and shuffles the counts to reducers
 // partitioned by word hash.
 func wcMapFn(env *asstd.Env, ctx visor.FuncContext) error {
-	chunk, done, err := recv(env, ctx, visor.Slot("wc-split", 0, "wc-map", ctx.Instance))
+	t := tp(env, ctx)
+	chunk, done, err := t.Recv(visor.Slot("wc-split", 0, "wc-map", ctx.Instance))
 	if err != nil {
 		return err
 	}
@@ -272,7 +276,7 @@ func wcMapFn(env *asstd.Env, ctx visor.FuncContext) error {
 	return timeStage(env, metrics.StageTransfer, func() error {
 		for r, part := range partitions {
 			slot := visor.Slot("wc-map", ctx.Instance, "wc-reduce", r)
-			if err := send(env, ctx, slot, EncodeCounts(part)); err != nil {
+			if err := t.Send(slot, EncodeCounts(part)); err != nil {
 				return err
 			}
 		}
@@ -282,10 +286,11 @@ func wcMapFn(env *asstd.Env, ctx visor.FuncContext) error {
 
 // wcReduceFn merges its hash partition from every mapper.
 func wcReduceFn(env *asstd.Env, ctx visor.FuncContext) error {
+	t := tp(env, ctx)
 	merged := make(map[string]uint64)
 	mappers := ctx.Instances // map and reduce run with equal instance counts
 	for m := 0; m < mappers; m++ {
-		data, done, err := recv(env, ctx, visor.Slot("wc-map", m, "wc-reduce", ctx.Instance))
+		data, done, err := t.Recv(visor.Slot("wc-map", m, "wc-reduce", ctx.Instance))
 		if err != nil {
 			return err
 		}
@@ -299,16 +304,17 @@ func wcReduceFn(env *asstd.Env, ctx visor.FuncContext) error {
 	}
 	return timeStage(env, metrics.StageTransfer, func() error {
 		slot := visor.Slot("wc-reduce", ctx.Instance, "wc-merge", 0)
-		return send(env, ctx, slot, EncodeCounts(merged))
+		return t.Send(slot, EncodeCounts(merged))
 	})
 }
 
 // wcMergeFn folds every reducer's table into the final result.
 func wcMergeFn(env *asstd.Env, ctx visor.FuncContext) error {
 	reducers := int(ctx.ParamInt("instances", 1))
+	t := tp(env, ctx)
 	final := make(map[string]uint64)
 	for r := 0; r < reducers; r++ {
-		data, done, err := recv(env, ctx, visor.Slot("wc-reduce", r, "wc-merge", 0))
+		data, done, err := t.Recv(visor.Slot("wc-reduce", r, "wc-merge", 0))
 		if err != nil {
 			return err
 		}
@@ -350,6 +356,7 @@ func psSplitFn(env *asstd.Env, ctx visor.FuncContext) error {
 	}); err != nil {
 		return err
 	}
+	t := tp(env, ctx)
 	return timeStage(env, metrics.StageTransfer, func() error {
 		per := (len(raw) / 8 / sorters) * 8
 		for i := 0; i < sorters; i++ {
@@ -359,7 +366,7 @@ func psSplitFn(env *asstd.Env, ctx visor.FuncContext) error {
 				end = len(raw)
 			}
 			payload := EncodePivotChunk(pivots, raw[start:end])
-			if err := send(env, ctx, visor.Slot("ps-split", 0, "ps-sort", i), payload); err != nil {
+			if err := t.Send(visor.Slot("ps-split", 0, "ps-sort", i), payload); err != nil {
 				return err
 			}
 		}
@@ -369,7 +376,8 @@ func psSplitFn(env *asstd.Env, ctx visor.FuncContext) error {
 
 // psSortFn sorts its chunk and scatters pivot ranges to the mergers.
 func psSortFn(env *asstd.Env, ctx visor.FuncContext) error {
-	data, done, err := recv(env, ctx, visor.Slot("ps-split", 0, "ps-sort", ctx.Instance))
+	t := tp(env, ctx)
+	data, done, err := t.Recv(visor.Slot("ps-split", 0, "ps-sort", ctx.Instance))
 	if err != nil {
 		return err
 	}
@@ -401,7 +409,7 @@ func psSortFn(env *asstd.Env, ctx visor.FuncContext) error {
 				end = start
 			}
 			slot := visor.Slot("ps-sort", ctx.Instance, "ps-merge", j)
-			if err := send(env, ctx, slot, U64sToBytes(vals[start:end])); err != nil {
+			if err := t.Send(slot, U64sToBytes(vals[start:end])); err != nil {
 				return err
 			}
 			start = end
@@ -413,9 +421,10 @@ func psSortFn(env *asstd.Env, ctx visor.FuncContext) error {
 // psMergeFn k-way merges its range from every sorter.
 func psMergeFn(env *asstd.Env, ctx visor.FuncContext) error {
 	sorters := ctx.Instances
+	t := tp(env, ctx)
 	runs := make([][]uint64, 0, sorters)
 	for i := 0; i < sorters; i++ {
-		data, done, err := recv(env, ctx, visor.Slot("ps-sort", i, "ps-merge", ctx.Instance))
+		data, done, err := t.Recv(visor.Slot("ps-sort", i, "ps-merge", ctx.Instance))
 		if err != nil {
 			return err
 		}
@@ -431,7 +440,7 @@ func psMergeFn(env *asstd.Env, ctx visor.FuncContext) error {
 	}
 	return timeStage(env, metrics.StageTransfer, func() error {
 		slot := visor.Slot("ps-merge", ctx.Instance, "ps-final", 0)
-		return send(env, ctx, slot, U64sToBytes(merged))
+		return t.Send(slot, U64sToBytes(merged))
 	})
 }
 
@@ -439,10 +448,11 @@ func psMergeFn(env *asstd.Env, ctx visor.FuncContext) error {
 // sortedness.
 func psFinalFn(env *asstd.Env, ctx visor.FuncContext) error {
 	mergers := int(ctx.ParamInt("instances", 1))
+	t := tp(env, ctx)
 	var prev uint64
 	var total int
 	for j := 0; j < mergers; j++ {
-		data, done, err := recv(env, ctx, visor.Slot("ps-merge", j, "ps-final", 0))
+		data, done, err := t.Recv(visor.Slot("ps-merge", j, "ps-final", 0))
 		if err != nil {
 			return err
 		}

@@ -8,92 +8,47 @@
 // The native tier (≈Rust in the paper) is ordinary Go running on as-std;
 // the C and Python tiers are ASVM guest programs executed through the
 // WASI adaptation layer (AOT engine for C, interpreter + runtime image
-// for Python). Every application transfers intermediate data through
-// AsBuffer slots by default and through LibOS files when reference
-// passing is disabled — the Figure 14 ablation's file-mediated path,
-// which matches AWS Step Functions' recommended pattern.
+// for Python). Every application moves intermediate data through the
+// unified data plane (internal/xfer): AsBuffer reference passing by
+// default, the LibOS file spill when reference passing is disabled (the
+// Figure 14 ablation's file-mediated path, which matches AWS Step
+// Functions' recommended pattern), or whatever transport the run
+// selects — the workload code is identical either way.
 package workloads
 
 import (
 	"fmt"
-	"hash/fnv"
 
 	"alloystack/internal/asstd"
 	"alloystack/internal/visor"
+	"alloystack/internal/xfer"
 )
 
-// refPassing reports whether this invocation uses reference passing.
-func refPassing(ctx visor.FuncContext) bool {
-	return ctx.Param("__refpass", "1") == "1"
-}
-
-// xferPath maps a slot name onto an 8.3-safe file path for the
-// file-mediated fallback.
-func xferPath(slot string) string {
-	h := fnv.New32a()
-	h.Write([]byte(slot))
-	return fmt.Sprintf("/X%07X.DAT", h.Sum32()&0xFFFFFFF)
-}
-
-// send transfers data downstream under slot. With reference passing the
-// bytes land in a shared AsBuffer (one write, zero copies downstream);
-// without it they are written to a LibOS file and re-read by the
-// receiver — the double copy the paper's design eliminates.
-func send(env *asstd.Env, ctx visor.FuncContext, slot string, data []byte) error {
-	if refPassing(ctx) {
-		b, err := asstd.NewBuffer(env, slot, uint64(len(data)))
-		if err != nil {
-			return err
-		}
-		copy(b.Bytes(), data)
-		return nil
+// tp resolves the function instance's data plane: the visor installs a
+// transport on every env it builds; envs created outside the visor
+// (direct tests, examples) fall back to a private transport derived
+// from the __refpass parameter, cached on the env for later calls.
+func tp(env *asstd.Env, ctx visor.FuncContext) asstd.Transport {
+	if t := env.Transport(); t != nil {
+		return t
 	}
-	if err := asstd.MountFS(env); err != nil {
-		return err
+	kind := xfer.KindRefpass
+	if ctx.Param("__refpass", "1") != "1" {
+		kind = xfer.KindFile
 	}
-	return asstd.WriteFile(env, xferPath(slot), data)
-}
-
-// sendBuffer registers an already-filled AsBuffer under slot, or spills
-// it to a file when reference passing is off. The buffer-producing path
-// lets compute write its output in place (true zero-copy).
-func sendBuffer(env *asstd.Env, ctx visor.FuncContext, b *asstd.Buffer) error {
-	if refPassing(ctx) {
-		return nil // the buffer is already registered under its slot
-	}
-	if err := asstd.MountFS(env); err != nil {
-		return err
-	}
-	if err := asstd.WriteFile(env, xferPath(b.Slot()), b.Bytes()); err != nil {
-		return err
-	}
-	return b.Free()
-}
-
-// newOutput allocates the output buffer for slot. Compute writes into it
-// directly; finish with sendBuffer.
-func newOutput(env *asstd.Env, ctx visor.FuncContext, slot string, size uint64) (*asstd.Buffer, error) {
-	return asstd.NewBuffer(env, slot, size)
-}
-
-// recv obtains the intermediate data registered under slot. With
-// reference passing the returned slice aliases the sender's buffer (and
-// the cleanup closure frees it); otherwise the bytes are read back from
-// the spill file.
-func recv(env *asstd.Env, ctx visor.FuncContext, slot string) ([]byte, func() error, error) {
-	if refPassing(ctx) {
-		b, err := asstd.FromSlot(env, slot)
-		if err != nil {
-			return nil, nil, err
-		}
-		return b.Bytes(), b.Free, nil
-	}
-	if err := asstd.MountFS(env); err != nil {
-		return nil, nil, err
-	}
-	data, err := asstd.ReadFile(env, xferPath(slot))
+	t, err := xfer.New(kind, xfer.Config{Env: env})
 	if err != nil {
-		return nil, nil, err
+		// Unreachable: both fallback kinds only need the non-nil env.
+		panic(fmt.Sprintf("workloads: fallback transport: %v", err))
 	}
-	return data, func() error { return nil }, nil
+	env.SetTransport(t)
+	return t
+}
+
+// refPassing reports whether this instance moves intermediate data by
+// reference. FunctionChain consults it to forward buffers in place (a
+// slot re-registration instead of any Send), the paper's chained
+// zero-copy pattern.
+func refPassing(env *asstd.Env, ctx visor.FuncContext) bool {
+	return tp(env, ctx).Kind() == xfer.KindRefpass
 }

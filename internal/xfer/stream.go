@@ -1,0 +1,165 @@
+package xfer
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// DefaultChunkSize is the stream chunk granularity: large enough to
+// amortise per-transfer overhead, small enough that a payload bigger
+// than one AsBuffer slot never needs one giant allocation.
+const DefaultChunkSize = 256 * 1024
+
+// streamMagic marks a manifest payload ("ASTR").
+const streamMagic = 0x41535452
+
+// manifestSize is magic(u32) + chunks(u32) + total(u64).
+const manifestSize = 16
+
+// chunkSlot names the i-th chunk of a streamed slot. '#' cannot appear
+// in visor edge slots ("from:i->to:j"), so chunk names never collide
+// with ordinary payloads.
+func chunkSlot(slot string, i int) string { return fmt.Sprintf("%s#%d", slot, i) }
+
+// chunkWriter implements the Stream send side over any Transport: data
+// accumulates into fixed-size chunks, each shipped as its own slot;
+// Close ships the remainder and then a manifest under the stream's own
+// slot so the reader can discover the chunk count.
+type chunkWriter struct {
+	t      Transport
+	slot   string
+	buf    []byte
+	n      int
+	chunks int
+	total  uint64
+	closed bool
+}
+
+func newChunkWriter(t Transport, slot string, chunkSize int) *chunkWriter {
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunkSize
+	}
+	return &chunkWriter{t: t, slot: slot, buf: make([]byte, chunkSize)}
+}
+
+// Write implements io.Writer.
+func (w *chunkWriter) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, io.ErrClosedPipe
+	}
+	written := 0
+	for len(p) > 0 {
+		n := copy(w.buf[w.n:], p)
+		w.n += n
+		p = p[n:]
+		written += n
+		if w.n == len(w.buf) {
+			if err := w.flush(); err != nil {
+				return written, err
+			}
+		}
+	}
+	return written, nil
+}
+
+func (w *chunkWriter) flush() error {
+	if w.n == 0 {
+		return nil
+	}
+	if err := w.t.Send(chunkSlot(w.slot, w.chunks), w.buf[:w.n]); err != nil {
+		return err
+	}
+	w.chunks++
+	w.total += uint64(w.n)
+	w.n = 0
+	return nil
+}
+
+// Close flushes the tail chunk and publishes the manifest.
+func (w *chunkWriter) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if err := w.flush(); err != nil {
+		return err
+	}
+	m := make([]byte, manifestSize)
+	binary.BigEndian.PutUint32(m[0:], streamMagic)
+	binary.BigEndian.PutUint32(m[4:], uint32(w.chunks))
+	binary.BigEndian.PutUint64(m[8:], w.total)
+	return w.t.Send(w.slot, m)
+}
+
+// chunkReader is the receive side: it consumes the manifest eagerly and
+// then pulls chunks lazily as the caller reads, releasing each chunk's
+// backing storage before fetching the next.
+type chunkReader struct {
+	t       Transport
+	slot    string
+	chunks  int
+	next    int
+	cur     []byte
+	release func() error
+	closed  bool
+}
+
+func newChunkReader(t Transport, slot string) (*chunkReader, error) {
+	data, release, err := t.Recv(slot)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	if len(data) != manifestSize || binary.BigEndian.Uint32(data) != streamMagic {
+		return nil, fmt.Errorf("%w: %q", ErrNotStream, slot)
+	}
+	chunks := int(binary.BigEndian.Uint32(data[4:]))
+	return &chunkReader{t: t, slot: slot, chunks: chunks}, nil
+}
+
+// Read implements io.Reader.
+func (r *chunkReader) Read(p []byte) (int, error) {
+	if r.closed {
+		return 0, io.ErrClosedPipe
+	}
+	for len(r.cur) == 0 {
+		if r.release != nil {
+			if err := r.release(); err != nil {
+				return 0, err
+			}
+			r.release = nil
+		}
+		if r.next >= r.chunks {
+			return 0, io.EOF
+		}
+		data, release, err := r.t.Recv(chunkSlot(r.slot, r.next))
+		if err != nil {
+			return 0, err
+		}
+		r.next++
+		r.cur, r.release = data, release
+	}
+	n := copy(p, r.cur)
+	r.cur = r.cur[n:]
+	return n, nil
+}
+
+// Close releases the in-flight chunk and discards any unread ones.
+func (r *chunkReader) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	var first error
+	if r.release != nil {
+		first = r.release()
+		r.release = nil
+	}
+	for ; r.next < r.chunks; r.next++ {
+		if err := r.t.Free(chunkSlot(r.slot, r.next)); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,119 @@
+// Package xfer is the unified data plane: every path an intermediate
+// payload can take between two workflow functions is an implementation
+// of one Transport interface (declared in internal/asstd so the env can
+// carry it without an import cycle; re-exported here as xfer.Transport).
+//
+// Four implementations cover the paper's transfer matrix:
+//
+//	refpass — AsBuffer reference passing (§5), the AlloyStack default.
+//	          Zero payload copies on the Alloc/SendBuffer/Recv path;
+//	          freed buffers are recycled through a pooled allocator.
+//	file    — LibOS fatfs/ramfs spill, the Figure 14 ref-passing
+//	          ablation path (and AWS Step Functions' recommended
+//	          pattern): one copy out, one copy back.
+//	kv      — kvstore-mediated forwarding, the third-party storage path
+//	          the OpenFaaS and Faasm baselines use (Figure 11): at
+//	          least two payload copies end to end.
+//	net     — framed TCP to a Bridge over the in-repo netstack, backing
+//	          visor.SplitAt/CrossSlots multi-node cuts.
+//
+// All four charge their traffic to a shared metrics.TransportStats so
+// the evaluation harness can print a copies column proving the
+// zero-copy path really makes zero copies.
+package xfer
+
+import (
+	"errors"
+	"fmt"
+
+	"alloystack/internal/asstd"
+	"alloystack/internal/libos"
+	"alloystack/internal/metrics"
+)
+
+// Transport is the data plane interface; see asstd.Transport for the
+// method contracts.
+type Transport = asstd.Transport
+
+// The four transport kinds.
+const (
+	KindRefpass = "refpass"
+	KindFile    = "file"
+	KindKV      = "kv"
+	KindNet     = "net"
+)
+
+// Kinds lists every transport kind, in preference order.
+var Kinds = []string{KindRefpass, KindFile, KindKV, KindNet}
+
+// Errors returned by the transports.
+var (
+	ErrUnknownKind   = errors.New("xfer: unknown transport kind")
+	ErrNoEnv         = errors.New("xfer: transport requires an Env for buffer staging")
+	ErrNoBackend     = errors.New("xfer: transport backend not configured")
+	ErrPathCollision = errors.New("xfer: 8.3 spill path collision between distinct slots")
+	ErrNotStream     = errors.New("xfer: slot does not hold a stream manifest")
+)
+
+// Config carries the shared per-run resources a transport needs. Zero
+// fields are filled with private defaults where possible.
+type Config struct {
+	// Env backs AsBuffer allocation: required by refpass and file, and
+	// by Alloc/SendBuffer on kv and net (their Send/Recv work without).
+	Env *asstd.Env
+
+	// Pool recycles freed AsBuffers on the refpass path. Share one per
+	// run so buffers freed by one stage serve the next; nil disables
+	// pooling (and it is force-disabled under IFI).
+	Pool *BufPool
+
+	// Paths is the spill-path registry for the file transport. Share
+	// one per run so cross-stage collisions are detected.
+	Paths *PathRegistry
+
+	// KV is the store client for the kv transport.
+	KV KVClient
+
+	// Peer is the framed connection to a Bridge for the net transport.
+	Peer *Peer
+
+	// Stats, when set, receives per-kind transfer counters.
+	Stats *metrics.TransportStats
+}
+
+// New builds the named transport from cfg.
+func New(kind string, cfg Config) (Transport, error) {
+	switch kind {
+	case KindRefpass:
+		if cfg.Env == nil {
+			return nil, fmt.Errorf("%w (kind %q)", ErrNoEnv, kind)
+		}
+		return NewRefpass(cfg.Env, cfg.Pool, cfg.Stats), nil
+	case KindFile:
+		if cfg.Env == nil {
+			return nil, fmt.Errorf("%w (kind %q)", ErrNoEnv, kind)
+		}
+		return NewFile(cfg.Env, cfg.Paths, cfg.Stats), nil
+	case KindKV:
+		if cfg.KV == nil {
+			return nil, fmt.Errorf("%w (kind %q wants Config.KV)", ErrNoBackend, kind)
+		}
+		return NewKV(cfg.KV, cfg.Env, cfg.Stats), nil
+	case KindNet:
+		if cfg.Peer == nil {
+			return nil, fmt.Errorf("%w (kind %q wants Config.Peer)", ErrNoBackend, kind)
+		}
+		return NewNet(cfg.Peer, cfg.Env, cfg.Stats), nil
+	}
+	return nil, fmt.Errorf("%w: %q", ErrUnknownKind, kind)
+}
+
+// missing wraps the LibOS slot sentinel so every transport reports an
+// absent payload the same way AsBuffer acquisition does.
+func missing(slot string) error {
+	return fmt.Errorf("%w: %q", libos.ErrSlotMissing, slot)
+}
+
+// nopRelease is the release closure for transports whose Recv hands the
+// caller an owned copy.
+func nopRelease() error { return nil }

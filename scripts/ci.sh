@@ -1,10 +1,11 @@
 #!/bin/sh
-# CI entry point: build, vet, the full test suite, then the
-# fault-tolerance packages again under the race detector. The chaos
-# soak test only runs in the final (non -short) race pass, so a quick
-# local loop is `go test -short ./...`.
+# CI entry point: formatting gate, build, vet, the full test suite, then
+# the fault-tolerance and data-plane packages again under the race
+# detector. The chaos soak test only runs in the final (non -short) race
+# pass, so a quick local loop is `go test -short ./...`.
 set -eux
 
+test -z "$(gofmt -l .)"
 go build ./...
 go vet ./...
 go test -short ./...
@@ -13,4 +14,6 @@ go test -race -count=1 \
 	./internal/visor \
 	./internal/gateway \
 	./internal/kvstore \
+	./internal/metrics \
+	./internal/xfer \
 	./internal/integration
