@@ -2,8 +2,9 @@ GO ?= go
 
 PKGS       := ./...
 CHAOS_PKGS := ./internal/faults ./internal/visor ./internal/gateway ./internal/kvstore ./internal/integration
+RACE_PKGS  := $(CHAOS_PKGS) ./internal/trace ./internal/metrics ./internal/xfer
 
-.PHONY: all build vet test race chaos bench ci
+.PHONY: all build vet test race chaos bench trace-demo ci
 
 all: build
 
@@ -16,11 +17,11 @@ vet:
 test:
 	$(GO) test $(PKGS)
 
-# race runs the fault-tolerance packages under the race detector; the
-# chaos tests are concurrency-heavy by design, so this is where races
-# surface first.
+# race runs the fault-tolerance and observability packages under the
+# race detector; the chaos tests are concurrency-heavy by design, so
+# this is where races surface first.
 race:
-	$(GO) test -race $(CHAOS_PKGS)
+	$(GO) test -race $(RACE_PKGS)
 
 # chaos runs the long soak variants that -short (and plain `make test`
 # via go's test cache) would skip.
@@ -29,6 +30,11 @@ chaos:
 
 bench:
 	$(GO) run ./cmd/asbench -exp recovery
+
+# trace-demo runs a traced fan-out pipeline and emits trace.json,
+# loadable at https://ui.perfetto.dev (CI uploads it as an artifact).
+trace-demo:
+	$(GO) run ./examples/tracedemo -o trace.json
 
 ci:
 	./scripts/ci.sh

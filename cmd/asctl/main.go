@@ -6,10 +6,12 @@
 //	asctl validate workflow.json
 //	asctl describe workflow.json
 //	asctl invoke -node 127.0.0.1:8080 word-count
+//	asctl trace -node 127.0.0.1:8080 -o trace.json word-count
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -34,6 +36,8 @@ func main() {
 		cmdDescribe(os.Args[2:])
 	case "invoke":
 		cmdInvoke(os.Args[2:])
+	case "trace":
+		cmdTrace(os.Args[2:])
 	default:
 		usage()
 	}
@@ -43,7 +47,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   asctl validate <workflow.json>   check a workflow configuration
   asctl describe <workflow.json>   print stages and instance counts
-  asctl invoke [-node host:port] [-timeout 30s] [-retries 0] <workflow>   invoke on a running asvisor`)
+  asctl invoke [-node host:port] [-timeout 30s] [-retries 0] <workflow>   invoke on a running asvisor
+  asctl trace [-node host:port] [-o trace.json] <workflow>   invoke with tracing; write Chrome/Perfetto trace`)
 	os.Exit(2)
 }
 
@@ -167,6 +172,65 @@ func cmdInvoke(args []string) {
 	defer resp.Body.Close()
 	body, _ := io.ReadAll(resp.Body)
 	fmt.Printf("%s\n", body)
+	if resp.StatusCode != http.StatusOK {
+		os.Exit(1)
+	}
+}
+
+// cmdTrace invokes a workflow with ?trace=1 and writes the returned
+// Chrome trace_event JSON to a file loadable in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing.
+func cmdTrace(args []string) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	node := fs.String("node", "127.0.0.1:8080", "asvisor address")
+	out := fs.String("o", "trace.json", "output file for the Chrome trace")
+	timeout := fs.Duration("timeout", 0, "overall invocation timeout (0 = none)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	name := fs.Arg(0)
+	url := fmt.Sprintf("http://%s/invoke/%s?trace=1", *node, name)
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, nil)
+	if err != nil {
+		fatal("trace: %v", err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		fatal("trace: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+
+	var r visor.InvokeResponse
+	if err := json.Unmarshal(body, &r); err != nil {
+		fatal("trace: decode response: %v (body: %s)", err, body)
+	}
+	if r.Error != "" {
+		fmt.Fprintf(os.Stderr, "asctl: workflow error: %s\n", r.Error)
+	}
+	if len(r.Trace) == 0 {
+		fatal("trace: node returned no trace (old asvisor?)")
+	}
+	if err := os.WriteFile(*out, r.Trace, 0o644); err != nil {
+		fatal("trace: write %s: %v", *out, err)
+	}
+	fmt.Printf("workflow %q: e2e %.2fms cold-start %.2fms trace %s\n",
+		r.Workflow, r.E2EMillis, r.ColdStartMs, r.TraceID)
+	if r.Transfer != "" {
+		fmt.Println("transfer:")
+		for _, line := range strings.Split(r.Transfer, "\n") {
+			fmt.Printf("  %s\n", line)
+		}
+	}
+	fmt.Printf("wrote %s — load it at https://ui.perfetto.dev or chrome://tracing\n", *out)
 	if resp.StatusCode != http.StatusOK {
 		os.Exit(1)
 	}

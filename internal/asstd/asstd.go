@@ -28,6 +28,7 @@ import (
 	"alloystack/internal/metrics"
 	"alloystack/internal/mpk"
 	"alloystack/internal/netstack"
+	"alloystack/internal/trace"
 	"alloystack/internal/vfs"
 )
 
@@ -66,6 +67,12 @@ type Env struct {
 
 	// Clock, when set, receives stage accounting (Figure 15).
 	Clock *metrics.StageClock
+
+	// Span, when set by the visor, is this function instance's trace
+	// span: phase, transfer and syscall sub-spans hang off it. The nil
+	// span is the disabled sink, so instrumentation sites below need no
+	// conditionals.
+	Span *trace.Span
 
 	// transport, when set by the visor, is the data plane this function
 	// instance moves intermediate data through. Workloads and the WASI
@@ -125,6 +132,26 @@ func (e *Env) SetTransport(t Transport) { e.transport = t }
 // Transport returns the installed data plane, or nil when the env was
 // built outside the visor (tests construct transports directly).
 func (e *Env) Transport() Transport { return e.transport }
+
+// TimeStage runs fn, charging one measured duration to BOTH the stage
+// clock and a phase span under the instance's trace span. A single
+// measurement feeds both sinks, so an exported trace's per-phase totals
+// agree with the StageClock breakdown exactly, not approximately.
+func (e *Env) TimeStage(stage metrics.Stage, fn func() error) error {
+	start := time.Now()
+	err := fn()
+	e.ChargeStage(stage, start, time.Since(start))
+	return err
+}
+
+// ChargeStage records an externally measured (start, duration) window
+// against a breakdown stage, in the clock and as a phase span.
+func (e *Env) ChargeStage(stage metrics.Stage, start time.Time, d time.Duration) {
+	if e.Clock != nil {
+		e.Clock.Add(stage, d)
+	}
+	e.Span.Complete(stage.String(), trace.CatPhase, start, d)
+}
 
 // IFI reports whether inter-function isolation is enabled for this env.
 // The pooled buffer allocator consults it: recycling a buffer across
@@ -201,12 +228,17 @@ func entry[T any](e *Env, sym loader.Symbol) (T, error) {
 	return typed, nil
 }
 
-// syscall wraps a LibOS call with the MPK trampoline.
+// syscall wraps a LibOS call with the MPK trampoline. When the env's
+// tracer asked for syscall-level detail, each crossing records a span
+// named by the LibOS symbol (deferred first, so it closes after the
+// PKRU drop and covers the full trampoline round trip).
 func syscall[T any](e *Env, sym loader.Symbol, call func(fn T) error) error {
 	fn, err := entry[T](e, sym)
 	if err != nil {
 		return err
 	}
+	sp := e.Span.Syscall(string(sym))
+	defer sp.End()
 	e.enterSys()
 	defer e.leaveSys()
 	return call(fn)
@@ -551,6 +583,8 @@ func Listen(e *Env, port uint16) (*TcpListener, error) {
 
 // Accept waits for an inbound connection.
 func (tl *TcpListener) Accept() (*TcpStream, error) {
+	sp := tl.env.Span.Syscall("socket.accept")
+	defer sp.End()
 	tl.env.enterSys()
 	defer tl.env.leaveSys()
 	c, err := tl.l.Accept()
@@ -593,6 +627,8 @@ func LocalIP(e *Env) (netstack.Addr, error) {
 
 // Read implements io.Reader.
 func (ts *TcpStream) Read(p []byte) (int, error) {
+	sp := ts.env.Span.Syscall("socket.read")
+	defer sp.End()
 	ts.env.enterSys()
 	defer ts.env.leaveSys()
 	return ts.c.Read(p)
@@ -600,6 +636,8 @@ func (ts *TcpStream) Read(p []byte) (int, error) {
 
 // Write implements io.Writer.
 func (ts *TcpStream) Write(p []byte) (int, error) {
+	sp := ts.env.Span.Syscall("socket.write")
+	defer sp.End()
 	ts.env.enterSys()
 	defer ts.env.leaveSys()
 	return ts.c.Write(p)

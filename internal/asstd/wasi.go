@@ -308,9 +308,7 @@ func BindWASISlots(l *asvm.Linker, env *Env, inSlots, outSlots []string) {
 		}
 		start := time.Now()
 		copy(b.Bytes(), mem[ptr:ptr+n])
-		if env.Clock != nil {
-			env.Clock.Add(metrics.StageTransfer, time.Since(start))
-		}
+		env.ChargeStage(metrics.StageTransfer, start, time.Since(start))
 		if t := env.Transport(); t != nil {
 			if err := t.SendBuffer(b); err != nil {
 				return -1, err
@@ -339,9 +337,7 @@ func BindWASISlots(l *asvm.Linker, env *Env, inSlots, outSlots []string) {
 		}
 		start := time.Now()
 		n := copy(mem[ptr:ptr+capacity], c.data)
-		if env.Clock != nil {
-			env.Clock.Add(metrics.StageTransfer, time.Since(start))
-		}
+		env.ChargeStage(metrics.StageTransfer, start, time.Since(start))
 		delete(cached, edge)
 		if err := c.release(); err != nil {
 			return -1, err

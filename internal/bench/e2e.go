@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"alloystack/internal/baselines"
@@ -30,6 +31,7 @@ func Fig11(o Options) (*Report, error) {
 	}
 	v := newAlloyVisor()
 	var copiesRow []string
+	var lastASTransfer string
 	for _, size := range sizes {
 		row := []string{humanBytes(size)}
 		copiesRow = []string{"copies"}
@@ -55,6 +57,9 @@ func Fig11(o Options) (*Report, error) {
 			}
 			row = append(row, us(res.Clock.Total(metrics.StageTransfer)))
 			copiesRow = append(copiesRow, fmt.Sprint(res.Transfer.Totals().Copies))
+			if mode.lang == "native" && !mode.ifi {
+				lastASTransfer = res.Transfer.String()
+			}
 		}
 		// Baselines.
 		for _, bl := range []struct {
@@ -77,6 +82,10 @@ func Fig11(o Options) (*Report, error) {
 		rep.Rows = append(rep.Rows, row)
 	}
 	rep.Rows = append(rep.Rows, copiesRow)
+	if lastASTransfer != "" {
+		rep.Notes = append(rep.Notes,
+			"AS data plane at largest size: "+strings.ReplaceAll(lastASTransfer, "\n", "; "))
+	}
 	return emit(o, rep), nil
 }
 

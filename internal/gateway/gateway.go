@@ -14,11 +14,13 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"alloystack/internal/faults"
+	"alloystack/internal/metrics"
 )
 
 // Errors returned by the gateway.
@@ -89,6 +91,7 @@ type Gateway struct {
 	Faults *faults.Plan
 
 	failovers atomic.Int64
+	requests  atomic.Int64
 
 	srv        *http.Server
 	ln         net.Listener
@@ -173,6 +176,7 @@ func (g *Gateway) forward(b *backendState, workflow string) ([]byte, error, int)
 // answering 4xx stop the search (the request itself is bad); 5xx and
 // transport failures fail over to the next backend.
 func (g *Gateway) Invoke(workflow string) ([]byte, error) {
+	g.requests.Add(1)
 	n := uint64(len(g.backends))
 	start := g.next.Add(1)
 	var lastErr error
@@ -307,9 +311,39 @@ func (g *Gateway) Start(addr string) (string, error) {
 		}
 		w.Write(body)
 	})
+	mux.HandleFunc("/metrics", g.handleMetrics)
 	g.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go g.srv.Serve(ln)
 	return ln.Addr().String(), nil
+}
+
+// handleMetrics serves the Prometheus text exposition: routed requests,
+// failover count and each backend's circuit-breaker state (1 = in the
+// primary rotation, 0 = tripped).
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	pw := metrics.NewPromWriter(w)
+	pw.Header("alloystack_gateway_requests_total", "counter",
+		"Invocations routed through the gateway.")
+	pw.Value("alloystack_gateway_requests_total", float64(g.requests.Load()))
+	pw.Header("alloystack_gateway_failovers_total", "counter",
+		"Requests that moved past their first candidate backend.")
+	pw.Value("alloystack_gateway_failovers_total", float64(g.Failovers()))
+	pw.Header("alloystack_gateway_backend_up", "gauge",
+		"Circuit-breaker state per backend (1 = in rotation).")
+	status := g.BackendStatus()
+	addrs := make([]string, 0, len(status))
+	for addr := range status {
+		addrs = append(addrs, addr)
+	}
+	sort.Strings(addrs)
+	for _, addr := range addrs {
+		up := 0.0
+		if status[addr] {
+			up = 1.0
+		}
+		pw.Value("alloystack_gateway_backend_up", up, "backend", addr)
+	}
 }
 
 // Stop shuts the gateway's HTTP server and health prober down.

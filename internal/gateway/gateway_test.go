@@ -3,9 +3,11 @@ package gateway
 import (
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -294,4 +296,62 @@ func TestBackendsAccessor(t *testing.T) {
 		t.Fatal("Backends leaked internal slice")
 	}
 	_ = strings.TrimSpace("")
+}
+
+// TestGatewayMetricsEndpoint scrapes the gateway's /metrics surface:
+// request and failover counters plus per-backend breaker gauges, served
+// alongside the invoke front end and safe to hit concurrently with Stop.
+func TestGatewayMetricsEndpoint(t *testing.T) {
+	b := startBackend(t)
+	g, err := New(b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := g.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := http.Post("http://"+addr+"/invoke/noop", "application/json", nil); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status = %d", resp.StatusCode)
+	}
+	buf := new(strings.Builder)
+	if _, err := io.Copy(buf, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	for _, want := range []string{
+		"alloystack_gateway_requests_total 1",
+		"alloystack_gateway_failovers_total 0",
+		`alloystack_gateway_backend_up{backend="` + b.Addr() + `"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	// Concurrent scrapes racing Stop: the -race gate enforces safety.
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if resp, err := http.Get("http://" + addr + "/metrics"); err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	if err := g.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
 }

@@ -8,6 +8,7 @@ package metrics
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -57,18 +58,25 @@ func (r *Recorder) Summarize() Summary {
 	samples := make([]time.Duration, len(r.samples))
 	copy(samples, r.samples)
 	r.mu.Unlock()
-	return Summarize(samples)
+	// The copy above is already private to this call: sort it in place
+	// instead of copying a second time.
+	return summarizeInPlace(samples)
 }
 
-// Summarize digests an arbitrary sample slice.
+// Summarize digests an arbitrary sample slice without mutating it.
 func Summarize(samples []time.Duration) Summary {
+	sorted := make([]time.Duration, len(samples))
+	copy(sorted, samples)
+	return summarizeInPlace(sorted)
+}
+
+// summarizeInPlace sorts samples (owned by the caller) and digests them.
+func summarizeInPlace(sorted []time.Duration) Summary {
 	var s Summary
-	s.Count = len(samples)
+	s.Count = len(sorted)
 	if s.Count == 0 {
 		return s
 	}
-	sorted := make([]time.Duration, len(samples))
-	copy(sorted, samples)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	s.Min = sorted[0]
 	s.Max = sorted[len(sorted)-1]
@@ -254,16 +262,66 @@ func (t *TransportStats) Kinds() map[string]TransportKind {
 	return out
 }
 
-// Totals sums the counters across every transport kind.
+// add accumulates another kind's counters into k.
+func (k *TransportKind) add(o TransportKind) {
+	k.Bytes += o.Bytes
+	k.Copies += o.Copies
+	k.Ops += o.Ops
+	k.SlotsReused += o.SlotsReused
+}
+
+// String renders one kind's counters for reports.
+func (k TransportKind) String() string {
+	return fmt.Sprintf("%s in %d ops, %d copies, %d slots reused",
+		FormatBytes(k.Bytes), k.Ops, k.Copies, k.SlotsReused)
+}
+
+// Totals sums the counters across every transport kind, taking the
+// lock once rather than once per kind.
 func (t *TransportStats) Totals() TransportKind {
 	var sum TransportKind
-	for _, k := range t.Kinds() {
-		sum.Bytes += k.Bytes
-		sum.Copies += k.Copies
-		sum.Ops += k.Ops
-		sum.SlotsReused += k.SlotsReused
+	if t == nil {
+		return sum
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, k := range t.kinds {
+		sum.add(*k)
 	}
 	return sum
+}
+
+// Merge folds another stats table into this one (the watchdog
+// aggregates per-run tables into its process-lifetime view).
+func (t *TransportStats) Merge(other *TransportStats) {
+	if t == nil || other == nil {
+		return
+	}
+	for name, k := range other.Kinds() {
+		t.mu.Lock()
+		t.kind(name).add(k)
+		t.mu.Unlock()
+	}
+}
+
+// String renders the per-kind counters on one line per kind, sorted by
+// kind name — the shared formatting asbench, asctl and the trace demo
+// print instead of ad-hoc variants.
+func (t *TransportStats) String() string {
+	kinds := t.Kinds()
+	if len(kinds) == 0 {
+		return "no transfers"
+	}
+	names := make([]string, 0, len(kinds))
+	for name := range kinds {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, name := range names {
+		parts[i] = fmt.Sprintf("%s: %s", name, kinds[name])
+	}
+	return strings.Join(parts, "\n")
 }
 
 // CopiesPerByte reports payload copies divided by payload bytes for one

@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// PromWriter renders the Prometheus text exposition format (version
+// 0.0.4, the text format every Prometheus scraper accepts). It is
+// deliberately tiny — the repo vendors no client library — and covers
+// exactly what the watchdog and gateway /metrics endpoints expose:
+// counters, gauges and pre-computed summaries.
+//
+// Usage:
+//
+//	pw := NewPromWriter(w)
+//	pw.Header("alloystack_invocations_total", "counter", "completed invocations")
+//	pw.Value("alloystack_invocations_total", 42)
+//	pw.Summary("alloystack_invocation_latency_seconds", rec.Summarize())
+//	err := pw.Err()
+type PromWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewPromWriter wraps w.
+func NewPromWriter(w io.Writer) *PromWriter { return &PromWriter{w: w} }
+
+// Err reports the first write error, if any.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// Header emits the # HELP / # TYPE preamble for a metric family.
+func (p *PromWriter) Header(name, typ, help string) {
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// Value emits one sample. labels are alternating key, value pairs.
+func (p *PromWriter) Value(name string, value float64, labels ...string) {
+	p.printf("%s%s %g\n", name, renderLabels(labels), value)
+}
+
+// Summary emits a latency digest as quantile series plus _count, in
+// seconds (the Prometheus base unit for time).
+func (p *PromWriter) Summary(name string, s Summary, labels ...string) {
+	p.Header(name, "summary", "latency digest (seconds)")
+	for _, q := range []struct {
+		q string
+		d time.Duration
+	}{{"0.5", s.P50}, {"0.9", s.P90}, {"0.99", s.P99}} {
+		p.Value(name, q.d.Seconds(), append([]string{"quantile", q.q}, labels...)...)
+	}
+	p.Value(name+"_count", float64(s.Count), labels...)
+}
+
+// Transport emits the per-kind data-plane counters under a common
+// prefix: <prefix>_bytes_total, _copies_total, _ops_total,
+// _slots_reused_total, each labelled by kind.
+func (p *PromWriter) Transport(prefix string, t *TransportStats) {
+	kinds := t.Kinds()
+	names := make([]string, 0, len(kinds))
+	for name := range kinds {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	p.Header(prefix+"_bytes_total", "counter", "payload bytes moved per transport kind")
+	for _, n := range names {
+		p.Value(prefix+"_bytes_total", float64(kinds[n].Bytes), "kind", n)
+	}
+	p.Header(prefix+"_copies_total", "counter", "payload copies made per transport kind")
+	for _, n := range names {
+		p.Value(prefix+"_copies_total", float64(kinds[n].Copies), "kind", n)
+	}
+	p.Header(prefix+"_ops_total", "counter", "transfer operations per transport kind")
+	for _, n := range names {
+		p.Value(prefix+"_ops_total", float64(kinds[n].Ops), "kind", n)
+	}
+	p.Header(prefix+"_slots_reused_total", "counter", "pooled buffers recycled per transport kind")
+	for _, n := range names {
+		p.Value(prefix+"_slots_reused_total", float64(kinds[n].SlotsReused), "kind", n)
+	}
+}
+
+// renderLabels formats alternating key/value pairs as {k="v",...}.
+func renderLabels(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	out := "{"
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			out += ","
+		}
+		out += fmt.Sprintf("%s=%q", labels[i], labels[i+1])
+	}
+	return out + "}"
+}

@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// Chrome trace_event export: the JSON Object Format with complete ("X")
+// events, loadable in Perfetto and chrome://tracing. One Tracer maps to
+// one Chrome process (pid); span lanes map to threads (tid); instant
+// events map to "i"-phase markers. Multi-node runs pass both tracers so
+// the stitched trace renders as two processes sharing one trace ID.
+
+// chromeEvent is one entry of the traceEvents array.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`            // microseconds
+	Dur  float64           `json:"dur,omitempty"` // microseconds
+	PID  int               `json:"pid"`
+	TID  int64             `json:"tid"`
+	S    string            `json:"s,omitempty"` // instant scope
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeFile is the top-level JSON Object Format document.
+type chromeFile struct {
+	TraceEvents     []chromeEvent     `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+}
+
+// micros converts a duration to trace_event microseconds.
+func micros(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+// buildChrome assembles the document for one or more tracers. The
+// earliest span start across all tracers becomes ts=0, keeping
+// timestamps small and runs visually aligned from their origin.
+func buildChrome(tracers []*Tracer) chromeFile {
+	var epoch time.Time
+	for _, t := range tracers {
+		for _, sd := range t.Spans() {
+			if epoch.IsZero() || sd.Start.Before(epoch) {
+				epoch = sd.Start
+			}
+		}
+	}
+
+	doc := chromeFile{
+		TraceEvents:     []chromeEvent{},
+		DisplayTimeUnit: "ms",
+		OtherData:       map[string]string{},
+	}
+	for pi, t := range tracers {
+		if !t.Enabled() {
+			continue
+		}
+		pid := pi + 1
+		id := t.TraceID()
+		doc.OtherData["trace_id"] = id
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "process_name",
+			Ph:   "M",
+			PID:  pid,
+			Args: map[string]string{"name": t.Proc()},
+		})
+		for _, sd := range t.Spans() {
+			args := map[string]string{"trace_id": id}
+			for k, v := range sd.Attrs {
+				args[k] = v
+			}
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: sd.Name,
+				Cat:  sd.Cat,
+				Ph:   "X",
+				TS:   micros(sd.Start.Sub(epoch)),
+				Dur:  micros(sd.Dur),
+				PID:  pid,
+				TID:  sd.Lane,
+				Args: args,
+			})
+		}
+		for _, ev := range t.Events() {
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: ev.Name,
+				Cat:  "event",
+				Ph:   "i",
+				S:    "p", // process-scoped instant
+				TS:   micros(ev.When.Sub(epoch)),
+				PID:  pid,
+				Args: map[string]string{"trace_id": id, "span": ev.SpanName},
+			})
+		}
+	}
+	return doc
+}
+
+// ExportChrome writes the trace_event JSON for the given tracers to w.
+func ExportChrome(w io.Writer, tracers ...*Tracer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(buildChrome(tracers))
+}
+
+// ChromeJSON renders the trace_event document as a byte slice (the
+// watchdog embeds it in an invocation response).
+func ChromeJSON(tracers ...*Tracer) ([]byte, error) {
+	return json.Marshal(buildChrome(tracers))
+}

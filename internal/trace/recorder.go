@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Recorder is the chaos flight recorder: a bounded ring of the most
+// recently completed spans plus every instant event (fault injections,
+// retries), kept cheap enough to run always-on. When a run fails, times
+// out, or trips its chaos plan, the visor dumps the ring so the failure
+// report explains *what* the fault interrupted instead of only that the
+// run died.
+type Recorder struct {
+	mu     sync.Mutex
+	cap    int
+	spans  []SpanData // ring, insertion order
+	next   int        // ring cursor once full
+	full   bool
+	events []EventData // unbounded is fine: events are rare by design
+	seen   uint64      // total spans ever recorded (reports truncation)
+}
+
+// DefaultRecorderSize bounds the span ring when callers pass n <= 0.
+const DefaultRecorderSize = 256
+
+// NewRecorder builds a flight recorder holding the last n spans.
+func NewRecorder(n int) *Recorder {
+	if n <= 0 {
+		n = DefaultRecorderSize
+	}
+	return &Recorder{cap: n}
+}
+
+// noteSpan adds a completed span to the ring.
+func (r *Recorder) noteSpan(sd SpanData) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seen++
+	if !r.full {
+		r.spans = append(r.spans, sd)
+		if len(r.spans) == r.cap {
+			r.full = true
+		}
+		return
+	}
+	r.spans[r.next] = sd
+	r.next = (r.next + 1) % r.cap
+}
+
+// noteEvent records an instant event.
+func (r *Recorder) noteEvent(ev EventData) {
+	r.mu.Lock()
+	r.events = append(r.events, ev)
+	r.mu.Unlock()
+}
+
+// Spans snapshots the ring's contents, oldest first.
+func (r *Recorder) Spans() []SpanData {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SpanData, 0, len(r.spans))
+	if r.full {
+		out = append(out, r.spans[r.next:]...)
+		out = append(out, r.spans[:r.next]...)
+	} else {
+		out = append(out, r.spans...)
+	}
+	return out
+}
+
+// Events snapshots the recorded events in arrival order.
+func (r *Recorder) Events() []EventData {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]EventData, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Dump writes a human-readable post-mortem: the reason, every recorded
+// event with the span it interrupted, and the tail of recent spans in
+// start order. It is safe on a nil recorder or nil writer (no-op).
+func (r *Recorder) Dump(w io.Writer, reason string) {
+	if r == nil || w == nil {
+		return
+	}
+	spans := r.Spans()
+	events := r.Events()
+	r.mu.Lock()
+	seen := r.seen
+	r.mu.Unlock()
+
+	fmt.Fprintf(w, "\n--- flight recorder: %s ---\n", reason)
+	if len(events) > 0 {
+		fmt.Fprintf(w, "events (%d):\n", len(events))
+		for _, ev := range events {
+			fmt.Fprintf(w, "  %s  active span: %s\n", ev.Name, ev.SpanName)
+		}
+	} else {
+		fmt.Fprintln(w, "events: none recorded")
+	}
+	if seen > uint64(len(spans)) {
+		fmt.Fprintf(w, "spans: last %d of %d (older spans evicted)\n", len(spans), seen)
+	} else {
+		fmt.Fprintf(w, "spans: %d\n", len(spans))
+	}
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
+	for _, sd := range spans {
+		attrs := ""
+		if len(sd.Attrs) > 0 {
+			keys := make([]string, 0, len(sd.Attrs))
+			for k := range sd.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				attrs += fmt.Sprintf(" %s=%s", k, sd.Attrs[k])
+			}
+		}
+		fmt.Fprintf(w, "  [%-7s] %-28s %10s%s\n",
+			sd.Cat, sd.Name, sd.Dur.Round(time.Microsecond), attrs)
+	}
+	fmt.Fprintf(w, "--- end flight recorder ---\n")
+}
+
+// FlightDump dumps the tracer's flight recorder to w with the given
+// reason. No-op when tracing is disabled, no recorder is attached, or w
+// is nil — callers need no conditionals on the failure path.
+func (t *Tracer) FlightDump(w io.Writer, reason string) {
+	if t == nil {
+		return
+	}
+	t.rec.Dump(w, reason)
+}

@@ -24,6 +24,7 @@ import (
 	"alloystack/internal/metrics"
 	"alloystack/internal/netstack"
 	"alloystack/internal/ramfs"
+	"alloystack/internal/trace"
 	"alloystack/internal/xfer"
 )
 
@@ -224,6 +225,14 @@ type RunOptions struct {
 	// consulted before every function attempt (see internal/faults).
 	Faults *faults.Plan
 
+	// Trace, when non-nil, receives the invocation's span tree: a root
+	// span per run, one span per stage barrier and function instance,
+	// phase spans for the Figure-15 breakdown, and per-edge transfer
+	// spans. A nil tracer is the no-op sink — tracing is cheap enough
+	// to leave the plumbing unconditional. When the tracer carries a
+	// flight recorder, a failed run dumps it to Stdout automatically.
+	Trace *trace.Tracer
+
 	// ImportSlots pre-registers intermediate data before the first
 	// stage; ExportSlots drains slots after the last stage (multi-node
 	// bridging, §9 — see SplitAt/CrossSlots).
@@ -275,6 +284,9 @@ type RunResult struct {
 	// Transfer aggregates per-transport counters (bytes moved, copies
 	// made, slots reused) for the run's data plane.
 	Transfer *metrics.TransportStats
+	// TraceID echoes the tracer's (possibly adopted) trace identifier,
+	// "" when the run was not traced.
+	TraceID string
 }
 
 // EdgeTransfer resolves which transport kind a function's edges use:
@@ -359,7 +371,22 @@ func (o RunOptions) retryPolicy() faults.RetryPolicy {
 // its stage's sibling instances are cancelled and the invocation fails.
 // Cancelling opts.Ctx (or exceeding opts.Deadline) stops all in-flight
 // instances.
+//
+// Observability: when opts.Trace is set, the run produces a span tree
+// (invoke > stage > instance > phase/xfer/syscall) and — if the tracer
+// carries a flight recorder — a failed, timed-out or chaos-killed run
+// dumps the recorder to opts.Stdout so the report names what the
+// failure interrupted.
 func (v *Visor) RunWorkflow(w *dag.Workflow, opts RunOptions) (*RunResult, error) {
+	res, err := v.runWorkflow(w, opts)
+	if err != nil {
+		opts.Trace.FlightDump(opts.Stdout,
+			fmt.Sprintf("invocation %q failed: %v", w.Name, err))
+	}
+	return res, err
+}
+
+func (v *Visor) runWorkflow(w *dag.Workflow, opts RunOptions) (*RunResult, error) {
 	stages, err := w.Stages()
 	if err != nil {
 		return nil, err
@@ -376,6 +403,9 @@ func (v *Visor) RunWorkflow(w *dag.Workflow, opts RunOptions) (*RunResult, error
 		ctx, cancel = context.WithCancel(ctx)
 	}
 	defer cancel()
+
+	root := opts.Trace.Start("invoke:"+w.Name, trace.CatInvoke)
+	defer root.End()
 
 	start := time.Now()
 	wfd, err := core.Instantiate(core.Options{
@@ -416,13 +446,24 @@ func (v *Visor) RunWorkflow(w *dag.Workflow, opts RunOptions) (*RunResult, error
 	}
 
 	if len(opts.ImportSlots) > 0 {
-		if err := importSlots(wfd, opts.ImportSlots); err != nil {
+		sp := root.Child("import-slots", trace.CatXfer)
+		err := importSlots(wfd, opts.ImportSlots)
+		sp.End()
+		if err != nil {
 			return nil, fmt.Errorf("visor: import slots: %w", err)
 		}
 	}
 	if opts.ImportPeer != nil && len(opts.ImportNames) > 0 {
+		// Stitch into the exporting node's trace: the far side parked
+		// its trace ID on the bridge before the payload slots.
+		if id, ok := opts.ImportPeer.FetchTraceID(); ok {
+			opts.Trace.Adopt(id)
+		}
 		tr := xfer.NewNet(opts.ImportPeer, nil, res.Transfer)
-		if err := importVia(wfd, tr, opts.ImportNames); err != nil {
+		sp := root.Child("import-via-net", trace.CatXfer)
+		err := importVia(wfd, tr, opts.ImportNames)
+		sp.End()
+		if err != nil {
 			return nil, fmt.Errorf("visor: import via net: %w", err)
 		}
 	}
@@ -434,11 +475,15 @@ func (v *Visor) RunWorkflow(w *dag.Workflow, opts RunOptions) (*RunResult, error
 	// *reads* still happen per instance (the paper's §8.5 file-reading
 	// bottleneck at higher instance counts).
 	var runtimeInit sync.Map
+	// laneSeq gives every function instance of the run its own trace
+	// lane (Chrome tid), so parallel instances render as parallel rows.
+	laneSeq := int64(0)
 
 	for si, stage := range stages {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("visor: stage %d not started: %w", si, err)
 		}
+		stageSpan := root.Child(fmt.Sprintf("stage-%d", si), trace.CatStage)
 		stageStart := time.Now()
 		// stageCtx lets a terminally failed instance cancel its
 		// in-flight siblings instead of letting them run to completion
@@ -459,6 +504,7 @@ func (v *Visor) RunWorkflow(w *dag.Workflow, opts RunOptions) (*RunResult, error
 			native, vm, err := v.Funcs.lookup(spec.Name, spec.Language)
 			if err != nil {
 				stageCancel()
+				stageSpan.End()
 				return nil, err
 			}
 			// Propagate run-level knobs into the function parameters so
@@ -483,22 +529,28 @@ func (v *Visor) RunWorkflow(w *dag.Workflow, opts RunOptions) (*RunResult, error
 					Params:    params,
 				}
 				kind := EdgeTransfer(params, opts)
+				instSpan := stageSpan.Child(
+					fmt.Sprintf("%s[%d]", fctx.Function, fctx.Instance), trace.CatFunc)
+				instSpan.SetLane(laneSeq)
+				laneSeq++
 				wg.Add(1)
 				go func() {
 					defer wg.Done()
+					defer instSpan.End()
 					body := func(env *asstd.Env) error {
 						env.Clock = res.Clock
+						env.Span = instSpan
 						tr, terr := plane.transport(kind, env)
 						if terr != nil {
 							return terr
 						}
-						env.SetTransport(tr)
+						env.SetTransport(xfer.WithTrace(tr, instSpan))
 						if native != nil {
 							return native(env, fctx)
 						}
 						return runVM(env, fctx, *vm, opts.CostScale, &runtimeInit)
 					}
-					ferr := runInstance(stageCtx, wfd, fctx, body, opts, policy, res, &retryMu)
+					ferr := runInstance(stageCtx, wfd, fctx, instSpan, body, opts, policy, res, &retryMu)
 					doneMu.Lock()
 					now := time.Now()
 					if firstDone.IsZero() {
@@ -516,21 +568,34 @@ func (v *Visor) RunWorkflow(w *dag.Workflow, opts RunOptions) (*RunResult, error
 		wg.Wait()
 		stageCancel()
 		close(errCh)
+		// Fan-in synchronisation wait: faster instances idle until the
+		// slowest finishes (the unhatched area of Figure 15). Clock and
+		// span are charged from the same window so the exported trace
+		// agrees with the stage breakdown exactly.
+		if !firstDone.IsZero() {
+			wait := lastDone.Sub(firstDone)
+			res.Clock.Add(metrics.StageWait, wait)
+			stageSpan.Complete(metrics.StageWait.String(), trace.CatPhase, firstDone, wait)
+		}
+		stageSpan.End()
 		if ferr := pickStageError(errCh); ferr != nil {
 			return nil, fmt.Errorf("visor: stage %d: %w", si, ferr)
-		}
-		// Fan-in synchronisation wait: faster instances idle until the
-		// slowest finishes (the unhatched area of Figure 15).
-		if !firstDone.IsZero() {
-			res.Clock.Add(metrics.StageWait, lastDone.Sub(firstDone))
 		}
 		res.Stages = append(res.Stages, time.Since(stageStart))
 	}
 
 	if len(opts.ExportSlots) > 0 {
 		if opts.ExportPeer != nil {
+			// Park the trace ID before the payload slots so the importing
+			// node can stitch its half of the run into this trace.
+			if opts.Trace.Enabled() {
+				_ = opts.ExportPeer.ShipTraceID(opts.Trace.TraceID())
+			}
 			tr := xfer.NewNet(opts.ExportPeer, nil, res.Transfer)
-			if err := exportVia(wfd, tr, opts.ExportSlots); err != nil {
+			sp := root.Child("export-via-net", trace.CatXfer)
+			err := exportVia(wfd, tr, opts.ExportSlots)
+			sp.End()
+			if err != nil {
 				return nil, fmt.Errorf("visor: export via net: %w", err)
 			}
 		} else {
@@ -544,6 +609,7 @@ func (v *Visor) RunWorkflow(w *dag.Workflow, opts RunOptions) (*RunResult, error
 
 	res.MemPeak = wfd.MemoryUsage()
 	res.E2E = time.Since(start)
+	res.TraceID = opts.Trace.TraceID()
 	return res, nil
 }
 
@@ -576,8 +642,8 @@ func (p runPlane) transport(kind string, env *asstd.Env) (xfer.Transport, error)
 // programming results, and timeouts are not retried because the
 // abandoned attempt may still be executing.
 func runInstance(ctx context.Context, wfd *core.WFD, fctx FuncContext,
-	body func(env *asstd.Env) error, opts RunOptions, policy faults.RetryPolicy,
-	res *RunResult, retryMu *sync.Mutex) error {
+	span *trace.Span, body func(env *asstd.Env) error, opts RunOptions,
+	policy faults.RetryPolicy, res *RunResult, retryMu *sync.Mutex) error {
 	start := time.Now()
 	var ferr error
 	for attempt := 0; ; attempt++ {
@@ -586,18 +652,25 @@ func runInstance(ctx context.Context, wfd *core.WFD, fctx FuncContext,
 		}
 		attemptBody := body
 		if d := opts.Faults.FuncDelay(fctx.Function, fctx.Instance, attempt); d > 0 {
+			span.Event(fmt.Sprintf("injected delay %s attempt %d", d, attempt))
 			if err := sleepCtx(ctx, d); err != nil {
 				return fmt.Errorf("visor: %s[%d]: %w", fctx.Function, fctx.Instance, err)
 			}
 		}
 		if opts.Faults.FuncPanic(fctx.Function, fctx.Instance, attempt) {
+			span.Event(fmt.Sprintf("injected panic attempt %d", attempt))
 			a := attempt
 			attemptBody = func(env *asstd.Env) error {
 				panic(fmt.Sprintf("faults: injected panic %s[%d] attempt %d",
 					fctx.Function, fctx.Instance, a))
 			}
 		}
+		attemptSpan := span.Child(fmt.Sprintf("attempt-%d", attempt), trace.CatAttempt)
 		ferr = runAttempt(ctx, wfd, fctx.Function, attemptBody, opts.FuncTimeout)
+		if ferr != nil {
+			attemptSpan.SetAttr("error", ferr.Error())
+		}
+		attemptSpan.End()
 		if ferr == nil || !errors.Is(ferr, core.ErrFunctionFault) {
 			return ferr
 		}
@@ -608,6 +681,7 @@ func runInstance(ctx context.Context, wfd *core.WFD, fctx FuncContext,
 		res.Retries++
 		res.RetryWait += policy.Backoff(attempt)
 		retryMu.Unlock()
+		span.Event(fmt.Sprintf("retry after attempt %d", attempt))
 		if err := policy.Sleep(ctx, attempt); err != nil {
 			return fmt.Errorf("visor: %s[%d]: %w", fctx.Function, fctx.Instance, err)
 		}

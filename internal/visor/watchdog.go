@@ -10,6 +10,9 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"alloystack/internal/metrics"
+	"alloystack/internal/trace"
 )
 
 // Watchdog is the HTTP server that listens for external invocation
@@ -32,6 +35,14 @@ type Watchdog struct {
 	ln        net.Listener
 	inflight  atomic.Int64
 	completed atomic.Int64
+	failures  atomic.Int64
+	retries   atomic.Int64
+	memPeak   atomic.Uint64
+
+	// lat/transfer aggregate per-invocation observations for /metrics:
+	// an e2e latency digest and the run data planes' transfer counters.
+	lat      *metrics.Recorder
+	transfer *metrics.TransportStats
 }
 
 // InvokeResponse is the JSON reply to an invocation.
@@ -42,11 +53,22 @@ type InvokeResponse struct {
 	MemPeak     uint64  `json:"mem_peak_bytes"`
 	Retries     int     `json:"retries,omitempty"`
 	Error       string  `json:"error,omitempty"`
+	// TraceID/Trace/Transfer are present when the invocation was traced
+	// (?trace=1): the trace identifier, the Chrome trace_event JSON for
+	// the run (Perfetto-loadable as-is), and the rendered per-transport
+	// counter table.
+	TraceID  string          `json:"trace_id,omitempty"`
+	Trace    json.RawMessage `json:"trace,omitempty"`
+	Transfer string          `json:"transfer,omitempty"`
 }
 
 // NewWatchdog wraps v in an HTTP front end.
 func NewWatchdog(v *Visor) *Watchdog {
-	return &Watchdog{visor: v}
+	return &Watchdog{
+		visor:    v,
+		lat:      metrics.NewRecorder(),
+		transfer: metrics.NewTransportStats(),
+	}
 }
 
 // Start listens on addr ("127.0.0.1:0" for ephemeral) and serves until
@@ -61,6 +83,7 @@ func (wd *Watchdog) Start(addr string) (string, error) {
 	mux.HandleFunc("/invoke/", wd.handleInvoke)
 	mux.HandleFunc("/healthz", wd.handleHealth)
 	mux.HandleFunc("/workflows", wd.handleList)
+	mux.HandleFunc("/metrics", wd.handleMetrics)
 	wd.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go wd.srv.Serve(ln)
 	return ln.Addr().String(), nil
@@ -118,14 +141,37 @@ func (wd *Watchdog) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		// A disconnected client cancels the invocation it requested.
 		opts.Ctx = r.Context()
 	}
+	// ?trace=1 turns on span collection for this invocation; the span
+	// tree comes back in the response as Chrome trace_event JSON. A
+	// tracer supplied by OptionsFor wins (the harness keeps ownership).
+	tracer := opts.Trace
+	if tracer == nil && r.URL.Query().Get("trace") == "1" {
+		tracer = trace.New("watchdog", trace.Options{
+			Recorder: trace.NewRecorder(trace.DefaultRecorderSize),
+		})
+		opts.Trace = tracer
+	}
 	wd.inflight.Add(1)
+	invStart := time.Now()
 	res, err := wd.visor.Invoke(name, opts)
+	wd.lat.Record(time.Since(invStart))
 	wd.inflight.Add(-1)
 	wd.completed.Add(1)
+	if res != nil {
+		wd.retries.Add(int64(res.Retries))
+		wd.transfer.Merge(res.Transfer)
+		for {
+			cur := wd.memPeak.Load()
+			if res.MemPeak <= cur || wd.memPeak.CompareAndSwap(cur, res.MemPeak) {
+				break
+			}
+		}
+	}
 
 	resp := InvokeResponse{Workflow: name}
 	status := http.StatusOK
 	if err != nil {
+		wd.failures.Add(1)
 		resp.Error = err.Error()
 		switch {
 		case errors.Is(err, ErrUnknownWorkflow) || errors.Is(err, ErrUnknownFunction):
@@ -140,10 +186,42 @@ func (wd *Watchdog) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		resp.ColdStartMs = float64(res.ColdStart) / float64(time.Millisecond)
 		resp.MemPeak = res.MemPeak
 		resp.Retries = res.Retries
+		resp.TraceID = res.TraceID
+		resp.Transfer = res.Transfer.String()
+	}
+	if tracer.Enabled() {
+		if data, terr := trace.ChromeJSON(tracer); terr == nil {
+			resp.Trace = data
+		}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(resp)
+}
+
+// handleMetrics serves the Prometheus text exposition: invocation
+// counters, the end-to-end latency digest and the aggregated transport
+// counters across every run this watchdog has driven.
+func (wd *Watchdog) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	pw := metrics.NewPromWriter(w)
+	pw.Header("alloystack_watchdog_invocations_total", "counter",
+		"Completed workflow invocations.")
+	pw.Value("alloystack_watchdog_invocations_total", float64(wd.Completed()))
+	pw.Header("alloystack_watchdog_failures_total", "counter",
+		"Invocations that returned an error.")
+	pw.Value("alloystack_watchdog_failures_total", float64(wd.failures.Load()))
+	pw.Header("alloystack_watchdog_retries_total", "counter",
+		"Function restarts absorbed by fault tolerance.")
+	pw.Value("alloystack_watchdog_retries_total", float64(wd.retries.Load()))
+	pw.Header("alloystack_watchdog_inflight", "gauge",
+		"Invocations currently executing.")
+	pw.Value("alloystack_watchdog_inflight", float64(wd.Inflight()))
+	pw.Header("alloystack_watchdog_mem_peak_bytes", "gauge",
+		"Largest WFD peak mapped memory observed.")
+	pw.Value("alloystack_watchdog_mem_peak_bytes", float64(wd.memPeak.Load()))
+	pw.Summary("alloystack_watchdog_invoke_latency_seconds", wd.lat.Summarize())
+	pw.Transport("alloystack_watchdog_transport", wd.transfer)
 }
 
 func (wd *Watchdog) handleHealth(w http.ResponseWriter, r *http.Request) {

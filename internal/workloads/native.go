@@ -31,13 +31,14 @@ func RegisterNative(reg *visor.Registry) {
 	reg.RegisterNative("ps-final", psFinalFn)
 }
 
-// timeStage charges fn's duration to a breakdown stage when the env has
-// a stage clock attached.
+// timeStage charges fn's duration to a breakdown stage — one
+// measurement feeding both the stage clock and the trace's phase spans
+// (see asstd.Env.TimeStage).
 func timeStage(env *asstd.Env, stage metrics.Stage, fn func() error) error {
-	if env.Clock == nil {
+	if env.Clock == nil && env.Span == nil {
 		return fn()
 	}
-	return env.Clock.Time(stage, fn)
+	return env.TimeStage(stage, fn)
 }
 
 // ---- synthetic benchmarks --------------------------------------------------

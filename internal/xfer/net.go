@@ -89,6 +89,31 @@ func (p *Peer) free(slot string) error {
 	return err
 }
 
+// traceMetaSlot is the reserved bridge slot that carries the exporting
+// node's trace ID across a multi-node cut. It rides the ordinary framed
+// SET/GET protocol — no wire-format change — and is consumed by the
+// importing visor before any payload slots, so both halves of a split
+// run stitch into one trace.
+const traceMetaSlot = "__trace:id"
+
+// ShipTraceID parks the exporter's trace ID on the far-side bridge.
+func (p *Peer) ShipTraceID(id string) error {
+	if id == "" {
+		return nil
+	}
+	return p.set(traceMetaSlot, []byte(id))
+}
+
+// FetchTraceID consumes the trace ID parked by the exporting node; ok
+// is false when the exporter did not trace (or already consumed it).
+func (p *Peer) FetchTraceID() (string, bool) {
+	data, err := p.get(traceMetaSlot)
+	if err != nil || len(data) == 0 {
+		return "", false
+	}
+	return string(data), true
+}
+
 func writeRequest(w io.Writer, op byte, slot string, payload []byte) error {
 	hdr := make([]byte, 1+4)
 	hdr[0] = op

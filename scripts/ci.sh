@@ -1,8 +1,10 @@
 #!/bin/sh
 # CI entry point: formatting gate, build, vet, the full test suite, then
-# the fault-tolerance and data-plane packages again under the race
-# detector. The chaos soak test only runs in the final (non -short) race
-# pass, so a quick local loop is `go test -short ./...`.
+# the fault-tolerance, data-plane and observability packages again under
+# the race detector. The chaos soak test only runs in the final (non
+# -short) race pass, so a quick local loop is `go test -short ./...`.
+# The traced demo run doubles as an end-to-end smoke test and leaves
+# trace.json behind for CI to upload as an artifact.
 set -eux
 
 test -z "$(gofmt -l .)"
@@ -15,5 +17,7 @@ go test -race -count=1 \
 	./internal/gateway \
 	./internal/kvstore \
 	./internal/metrics \
+	./internal/trace \
 	./internal/xfer \
 	./internal/integration
+go run ./examples/tracedemo -o trace.json
