@@ -2,9 +2,9 @@ GO ?= go
 
 PKGS       := ./...
 CHAOS_PKGS := ./internal/faults ./internal/visor ./internal/gateway ./internal/kvstore ./internal/integration
-RACE_PKGS  := $(CHAOS_PKGS) ./internal/trace ./internal/metrics ./internal/xfer
+RACE_PKGS  := $(CHAOS_PKGS) ./internal/trace ./internal/metrics ./internal/xfer ./internal/pool ./internal/sched
 
-.PHONY: all build vet test race chaos bench trace-demo ci
+.PHONY: all build vet test race chaos bench trace-demo coldstart-demo ci
 
 all: build
 
@@ -35,6 +35,12 @@ bench:
 # loadable at https://ui.perfetto.dev (CI uploads it as an artifact).
 trace-demo:
 	$(GO) run ./examples/tracedemo -o trace.json
+
+# coldstart-demo contrasts cold boots against warm-pool snapshot forks
+# for the Python tier and leaves the summary in coldstart.txt (CI
+# uploads it as an artifact alongside trace.json).
+coldstart-demo:
+	$(GO) run ./cmd/asbench -exp coldstart -scale 0.01 | tee coldstart.txt
 
 ci:
 	./scripts/ci.sh

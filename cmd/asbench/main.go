@@ -26,26 +26,27 @@ var experiments = map[string]struct {
 	fn    func(bench.Options) (*bench.Report, error)
 	about string
 }{
-	"table1":   {bench.Table1, "as-libos modules per serverless function"},
-	"fig2":     {bench.Fig2, "startup latency across software stacks"},
-	"fig3":     {bench.Fig3, "communication primitive latency"},
-	"fig10":    {bench.Fig10, "cold start latency"},
-	"fig11":    {bench.Fig11, "intermediate data transfer latency"},
-	"fig12":    {bench.Fig12, "Rust-tier end-to-end latency"},
-	"fig13":    {bench.Fig13, "C/Python end-to-end latency vs Faasm"},
-	"fig14":    {bench.Fig14, "on-demand loading + reference passing ablation"},
-	"fig15":    {bench.Fig15, "per-stage latency breakdown"},
-	"fig16":    {bench.Fig16, "end-to-end latency on ramfs"},
-	"fig17a":   {bench.Fig17a, "tail latency under load"},
-	"fig17b":   {bench.Fig17b, "CPU and memory usage vs instances"},
-	"table4":   {bench.Table4, "LibOS substrate throughput vs host kernel"},
-	"engines":  {bench.Engines, "guest engine ablation (Wasmtime vs WAVM model)"},
-	"recovery": {bench.Recovery, "fault recovery latency (injected panic + retry)"},
+	"table1":    {bench.Table1, "as-libos modules per serverless function"},
+	"fig2":      {bench.Fig2, "startup latency across software stacks"},
+	"fig3":      {bench.Fig3, "communication primitive latency"},
+	"fig10":     {bench.Fig10, "cold start latency"},
+	"fig11":     {bench.Fig11, "intermediate data transfer latency"},
+	"fig12":     {bench.Fig12, "Rust-tier end-to-end latency"},
+	"fig13":     {bench.Fig13, "C/Python end-to-end latency vs Faasm"},
+	"fig14":     {bench.Fig14, "on-demand loading + reference passing ablation"},
+	"fig15":     {bench.Fig15, "per-stage latency breakdown"},
+	"fig16":     {bench.Fig16, "end-to-end latency on ramfs"},
+	"fig17a":    {bench.Fig17a, "tail latency under load"},
+	"fig17b":    {bench.Fig17b, "CPU and memory usage vs instances"},
+	"table4":    {bench.Table4, "LibOS substrate throughput vs host kernel"},
+	"engines":   {bench.Engines, "guest engine ablation (Wasmtime vs WAVM model)"},
+	"recovery":  {bench.Recovery, "fault recovery latency (injected panic + retry)"},
+	"coldstart": {bench.Coldstart, "cold boot vs warm-pool snapshot fork (p50/p99)"},
 }
 
 // order runs the cheap experiments first under -exp all.
 var order = []string{
-	"table1", "fig2", "fig10", "engines", "recovery", "table4", "fig3",
+	"table1", "fig2", "fig10", "engines", "recovery", "coldstart", "table4", "fig3",
 	"fig11", "fig14", "fig16", "fig15", "fig12", "fig13", "fig17a", "fig17b",
 }
 

@@ -22,6 +22,7 @@ import (
 
 	"alloystack/internal/dag"
 	"alloystack/internal/faults"
+	"alloystack/internal/pool"
 	"alloystack/internal/visor"
 )
 
@@ -38,6 +39,8 @@ func main() {
 		cmdInvoke(os.Args[2:])
 	case "trace":
 		cmdTrace(os.Args[2:])
+	case "pools":
+		cmdPools(os.Args[2:])
 	default:
 		usage()
 	}
@@ -48,7 +51,8 @@ func usage() {
   asctl validate <workflow.json>   check a workflow configuration
   asctl describe <workflow.json>   print stages and instance counts
   asctl invoke [-node host:port] [-timeout 30s] [-retries 0] <workflow>   invoke on a running asvisor
-  asctl trace [-node host:port] [-o trace.json] <workflow>   invoke with tracing; write Chrome/Perfetto trace`)
+  asctl trace [-node host:port] [-o trace.json] <workflow>   invoke with tracing; write Chrome/Perfetto trace
+  asctl pools [-node host:port]   show the node's warm-instance pools`)
 	os.Exit(2)
 }
 
@@ -233,6 +237,35 @@ func cmdTrace(args []string) {
 	fmt.Printf("wrote %s — load it at https://ui.perfetto.dev or chrome://tracing\n", *out)
 	if resp.StatusCode != http.StatusOK {
 		os.Exit(1)
+	}
+}
+
+// cmdPools queries /pools and prints one row per warm pool: stock,
+// autoscaler target, hit/miss counters and the template boot cost the
+// pool amortises.
+func cmdPools(args []string) {
+	fs := flag.NewFlagSet("pools", flag.ExitOnError)
+	node := fs.String("node", "127.0.0.1:8080", "asvisor address")
+	fs.Parse(args)
+	resp, err := http.Get(fmt.Sprintf("http://%s/pools", *node))
+	if err != nil {
+		fatal("pools: %v", err)
+	}
+	defer resp.Body.Close()
+	var stats []pool.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		fatal("pools: decode: %v", err)
+	}
+	if len(stats) == 0 {
+		fmt.Println("no warm pools (start asvisor with -warm-pools)")
+		return
+	}
+	fmt.Printf("%-20s %6s %6s %9s %6s %6s %6s %6s %14s\n",
+		"WORKFLOW", "WARM", "TARGET", "MIN/MAX", "HITS", "MISS", "FORKS", "EVICT", "TEMPLATE-BOOT")
+	for _, s := range stats {
+		fmt.Printf("%-20s %6d %6d %5d/%-3d %6d %6d %6d %6d %12.0fms\n",
+			s.Workflow, s.Warm, s.Target, s.Min, s.Max,
+			s.Hits, s.Misses, s.Forks, s.Evictions, s.TemplateBoot)
 	}
 }
 

@@ -29,6 +29,8 @@ import (
 
 	"alloystack/internal/dag"
 	"alloystack/internal/faults"
+	"alloystack/internal/pool"
+	"alloystack/internal/sched"
 	"alloystack/internal/visor"
 	"alloystack/internal/workloads"
 )
@@ -43,6 +45,11 @@ func main() {
 	maxRetries := flag.Int("max-retries", 0, "per-instance retry budget for faulted functions (0 = default policy)")
 	funcTimeout := flag.Duration("func-timeout", 0, "per-function-attempt timeout (0 = none)")
 	deadline := flag.Duration("deadline", 0, "whole-invocation deadline (0 = none)")
+	maxInflight := flag.Int64("max-inflight", 0, "cap on concurrently executing invocations; excess is shed with 429 (0 = unlimited)")
+	maxQueue := flag.Int("max-queue", 0, "admission queue depth; >0 upgrades -max-inflight to fair queueing instead of immediate shed")
+	warmPools := flag.Bool("warm-pools", false, "pre-boot warm snapshot/fork pools for Python-runtime workflows")
+	poolMin := flag.Int("pool-min", 1, "minimum warm instances per pool")
+	poolMax := flag.Int("pool-max", 4, "maximum warm instances per pool")
 	flag.Parse()
 
 	var plan *faults.Plan
@@ -143,6 +150,47 @@ func main() {
 			}
 		}
 		return ro
+	}
+
+	// Admission control: a scheduler when queueing is enabled, a bare
+	// shed-at-limit semaphore otherwise.
+	if *maxQueue > 0 {
+		mc := int(*maxInflight)
+		wd.Sched = sched.New(sched.Config{MaxConcurrent: mc, MaxQueue: *maxQueue})
+		defer wd.Sched.Close()
+	} else if *maxInflight > 0 {
+		wd.MaxInflight = *maxInflight
+	}
+
+	// Warm pools: boot a template per Python-runtime workflow so
+	// invocations fork from a snapshot instead of cold-starting.
+	if *warmPools {
+		mgr := pool.NewManager()
+		for _, name := range v.Workflows() {
+			w, err := v.Workflow(name)
+			if err != nil {
+				continue
+			}
+			spec, ok := workloads.PoolSpecFor(w, *inputSize, *costScale)
+			if !ok {
+				continue
+			}
+			p, err := pool.New(spec, pool.Config{
+				Min:  *poolMin,
+				Max:  *poolMax,
+				Seed: *chaosSeed,
+			})
+			if err != nil {
+				fmt.Printf("warm pool %s: %v (serving cold)\n", name, err)
+				continue
+			}
+			p.Start()
+			mgr.Add(p)
+			fmt.Printf("warm pool %q: %d instance(s) ready (template boot %.0f ms)\n",
+				name, p.Stats().Warm, p.Stats().TemplateBoot)
+		}
+		wd.Pools = mgr
+		defer mgr.StopAll()
 	}
 
 	addr, err := wd.Start(*listen)

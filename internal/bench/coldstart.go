@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"alloystack/internal/pool"
+	"alloystack/internal/workloads"
+)
+
+// coldstartRuns is the per-arm sample count: enough for a stable p50
+// and a meaningful (if coarse) p99 without making the cold arm — which
+// pays the full Python bootstrap every run — take minutes.
+const coldstartRuns = 8
+
+// Coldstart contrasts cold boots against warm-pool snapshot forks for a
+// Python-runtime workflow (the paper's slowest starter, §8.2): the cold
+// arm pays the runtime image read plus the calibrated interpreter
+// bootstrap on every invocation, while the warm arm forks a template
+// that paid both once. Reported are end-to-end and boot p50/p99 per arm
+// and the resulting speedup.
+func Coldstart(o Options) (*Report, error) {
+	o = o.withDefaults()
+	size := o.size(16 << 20)
+	w := workloads.FunctionChain(3, size, "python")
+	v := newAlloyVisor()
+
+	runArm := func(warm bool, p *pool.Pool) (e2e, boot []time.Duration, err error) {
+		for i := 0; i < coldstartRuns; i++ {
+			ro := alloyOpts(o, nil)
+			img, err := workloads.BuildEmptyImage(true)
+			if err != nil {
+				return nil, nil, err
+			}
+			ro.DiskImage = img
+			if warm {
+				ro.Pool = p
+				ro.WarmStart = true
+			}
+			res, err := v.RunWorkflow(w, ro)
+			if err != nil {
+				return nil, nil, err
+			}
+			if warm && !res.WarmStart {
+				return nil, nil, fmt.Errorf("coldstart: warm arm run %d fell back to a cold boot", i)
+			}
+			e2e = append(e2e, res.E2E)
+			boot = append(boot, res.ColdStart)
+			if warm {
+				// Clones are single-use; restock before the next run the
+				// way the background maintenance loop would.
+				p.Maintain(time.Now())
+			}
+		}
+		return e2e, boot, nil
+	}
+
+	coldE2E, coldBoot, err := runArm(false, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	spec, ok := workloads.PoolSpecFor(w, size, o.CostScale)
+	if !ok {
+		return nil, fmt.Errorf("coldstart: workflow %s not poolable", w.Name)
+	}
+	p, err := pool.New(spec, pool.Config{Min: 2, Max: 4, Seed: 1})
+	if err != nil {
+		return nil, err
+	}
+	defer p.Stop()
+	warmE2E, warmBoot, err := runArm(true, p)
+	if err != nil {
+		return nil, err
+	}
+
+	r := &Report{
+		ID:     "coldstart",
+		Title:  "cold boot vs warm-pool snapshot fork (Python tier)",
+		Header: []string{"boot", "e2e p50 (ms)", "e2e p99 (ms)", "boot p50 (ms)", "boot p99 (ms)"},
+		Rows: [][]string{
+			{"cold", ms(percentile(coldE2E, 50)), ms(percentile(coldE2E, 99)),
+				ms(percentile(coldBoot, 50)), ms(percentile(coldBoot, 99))},
+			{"warm", ms(percentile(warmE2E, 50)), ms(percentile(warmE2E, 99)),
+				ms(percentile(warmBoot, 50)), ms(percentile(warmBoot, 99))},
+		},
+	}
+	st := p.Stats()
+	r.Notes = append(r.Notes,
+		fmt.Sprintf("%d runs per arm; warm pool: %d hits, %d forks, template boot %.0f ms paid once",
+			coldstartRuns, st.Hits, st.Forks, st.TemplateBoot),
+		fmt.Sprintf("e2e speedup p50: %.1fx, boot speedup p50: %.1fx",
+			ratio(percentile(coldE2E, 50), percentile(warmE2E, 50)),
+			ratio(percentile(coldBoot, 50), percentile(warmBoot, 50))))
+	return emit(o, r), nil
+}
+
+// percentile returns the pth percentile (nearest-rank) of samples.
+func percentile(samples []time.Duration, p int) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := (p*len(s) + 99) / 100
+	if idx < 1 {
+		idx = 1
+	}
+	if idx > len(s) {
+		idx = len(s)
+	}
+	return s[idx-1]
+}
+
+func ratio(a, b time.Duration) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

@@ -104,6 +104,18 @@ type WFD struct {
 	destroyed bool
 	envs      []*asstd.Env
 	faults    int
+
+	// forked marks a WFD cut from a warm template by Fork.
+	forked bool
+	// runtimeWarm holds guest-runtime images whose pages arrived with the
+	// snapshot: a warm boot skips both the image read and the InitCost
+	// bootstrap for them. Populated by MarkRuntimeWarm (pool warmup) and
+	// inherited by forks.
+	runtimeWarm map[string]bool
+	// runtimeInit tracks which runtime images already paid InitCost in
+	// this WFD, so a cold boot bootstraps each interpreter exactly once
+	// no matter how many instances share it.
+	runtimeInit map[string]bool
 }
 
 // sharedRegistry is the default module registry; it is stateless, so all
@@ -161,13 +173,15 @@ func Instantiate(opts Options) (*WFD, error) {
 	ns.CostScale = opts.CostScale
 
 	w := &WFD{
-		opts:     opts,
-		Space:    space,
-		Domain:   domain,
-		LibOS:    l,
-		NS:       ns,
-		sysPKRU:  mpk.AllowAll,
-		userPKRU: mpk.AllowAll.WithRights(mpk.KeySystem, false, false),
+		opts:        opts,
+		Space:       space,
+		Domain:      domain,
+		LibOS:       l,
+		NS:          ns,
+		sysPKRU:     mpk.AllowAll,
+		userPKRU:    mpk.AllowAll.WithRights(mpk.KeySystem, false, false),
+		runtimeWarm: make(map[string]bool),
+		runtimeInit: make(map[string]bool),
 	}
 
 	// The calibrated base init work (dynamic libraries, symbol tables,

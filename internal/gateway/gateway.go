@@ -92,6 +92,7 @@ type Gateway struct {
 
 	failovers atomic.Int64
 	requests  atomic.Int64
+	shed      atomic.Int64
 
 	srv        *http.Server
 	ln         net.Listener
@@ -134,9 +135,10 @@ const (
 	outcomeApp              // 4xx: caller error, do not fail over
 	outcomeBackend          // 5xx: backend unhealthy, fail over with body
 	outcomeTransport        // connection-level failure, fail over
+	outcomeShed             // 429: backend saturated, fail over but stay in rotation
 )
 
-func (g *Gateway) forward(b *backendState, workflow string) ([]byte, error, int) {
+func (g *Gateway) forward(b *backendState, workflow, rawQuery string) ([]byte, error, int) {
 	now := time.Now()
 	if g.Faults != nil {
 		if err := g.Faults.BackendFail(b.addr); err != nil {
@@ -145,6 +147,9 @@ func (g *Gateway) forward(b *backendState, workflow string) ([]byte, error, int)
 		}
 	}
 	url := fmt.Sprintf("http://%s/invoke/%s", b.addr, workflow)
+	if rawQuery != "" {
+		url += "?" + rawQuery
+	}
 	resp, err := g.client.Post(url, "application/json", nil)
 	if err != nil {
 		b.markDown(g.cooldown(), now)
@@ -163,6 +168,14 @@ func (g *Gateway) forward(b *backendState, workflow string) ([]byte, error, int)
 	case resp.StatusCode >= 500:
 		b.noteFail(g.failThreshold(), g.cooldown(), now)
 		return body, fmt.Errorf("gateway: backend %s: status %d", b.addr, resp.StatusCode), outcomeBackend
+	case resp.StatusCode == http.StatusTooManyRequests:
+		// Admission control shed the request: the backend is healthy,
+		// just saturated. Spill to the next backend without tripping
+		// the breaker; if every backend sheds, the caller gets the 429
+		// body (with its Retry-After-derived error) back.
+		b.markUp()
+		g.shed.Add(1)
+		return body, fmt.Errorf("gateway: backend %s: shed (429)", b.addr), outcomeShed
 	default:
 		// The backend answered coherently; the request is the problem.
 		b.markUp()
@@ -176,6 +189,13 @@ func (g *Gateway) forward(b *backendState, workflow string) ([]byte, error, int)
 // answering 4xx stop the search (the request itself is bad); 5xx and
 // transport failures fail over to the next backend.
 func (g *Gateway) Invoke(workflow string) ([]byte, error) {
+	return g.InvokeQuery(workflow, "")
+}
+
+// InvokeQuery forwards one invocation with a raw query string appended
+// to the backend URL, preserving client knobs like ?trace=1 and
+// ?warm=0 across the hop.
+func (g *Gateway) InvokeQuery(workflow, rawQuery string) ([]byte, error) {
 	g.requests.Add(1)
 	n := uint64(len(g.backends))
 	start := g.next.Add(1)
@@ -195,13 +215,13 @@ func (g *Gateway) Invoke(workflow string) ([]byte, error) {
 				g.failovers.Add(1)
 			}
 			tried++
-			body, err, outcome := g.forward(b, workflow)
+			body, err, outcome := g.forward(b, workflow, rawQuery)
 			switch outcome {
 			case outcomeOK:
 				return body, nil
 			case outcomeApp:
 				return body, err
-			case outcomeBackend:
+			case outcomeBackend, outcomeShed:
 				lastBody, lastErr = body, err
 			case outcomeTransport:
 				lastErr = err
@@ -300,7 +320,7 @@ func (g *Gateway) Start(addr string) (string, error) {
 			return
 		}
 		name := r.URL.Path[len("/invoke/"):]
-		body, err := g.Invoke(name)
+		body, err := g.InvokeQuery(name, r.URL.RawQuery)
 		if err != nil && body == nil {
 			http.Error(w, err.Error(), http.StatusBadGateway)
 			return
@@ -329,6 +349,9 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	pw.Header("alloystack_gateway_failovers_total", "counter",
 		"Requests that moved past their first candidate backend.")
 	pw.Value("alloystack_gateway_failovers_total", float64(g.Failovers()))
+	pw.Header("alloystack_gateway_shed_total", "counter",
+		"Backend 429 responses absorbed by spilling to another backend.")
+	pw.Value("alloystack_gateway_shed_total", float64(g.shed.Load()))
 	pw.Header("alloystack_gateway_backend_up", "gauge",
 		"Circuit-breaker state per backend (1 = in rotation).")
 	status := g.BackendStatus()

@@ -58,6 +58,12 @@ type Config struct {
 	// file inputs (e.g. FunctionChain, which skips fatfs per §8.1).
 	DiskImage blockdev.Device
 
+	// Fat adopts an already-mounted FAT filesystem instead of mounting
+	// DiskImage. This is the snapshot/fork boot path: a clone shares its
+	// warm template's filesystem (fatfs.FS is internally locked), so a
+	// forked fatfs load performs zero device reads.
+	Fat *fatfs.FS
+
 	// UseRamfs mounts a ramfs instead of formatting/mounting the FAT
 	// image — the Figure 16 configuration.
 	UseRamfs bool
@@ -91,11 +97,12 @@ type LibOS struct {
 	VFS *vfs.VFS
 	FDs *vfs.FDTable
 
-	mu    sync.Mutex
-	slots map[string]slotEntry
-	net   *netstack.Stack
-	fat   *fatfs.FS
-	ram   *ramfs.FS
+	mu     sync.Mutex
+	slots  map[string]slotEntry
+	net    *netstack.Stack
+	fat    *fatfs.FS
+	ram    *ramfs.FS
+	stdout io.Writer
 
 	// ifiRebind, when set, is called by acquire_buffer to rebind buffer
 	// pages to the receiving function's key (inter-function isolation).
@@ -132,8 +139,29 @@ func New(cfg Config) (*LibOS, error) {
 		VFS:    v,
 		FDs:    vfs.NewFDTable(v),
 		slots:  make(map[string]slotEntry),
+		stdout: cfg.Stdout,
 	}
 	return l, nil
+}
+
+// SetStdout redirects stdio.host_stdout. Warm-pool clones are forked
+// before the invocation (and its output sink) exists, so the visor
+// points the clone at the request's writer when it hands it out.
+func (l *LibOS) SetStdout(w io.Writer) {
+	if w == nil {
+		w = io.Discard
+	}
+	l.mu.Lock()
+	l.stdout = w
+	l.mu.Unlock()
+}
+
+// writeStdout is the stdio module's sink; serialised because function
+// instances in one stage run concurrently over a shared writer.
+func (l *LibOS) writeStdout(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stdout.Write(p)
 }
 
 // SetIFIRebind installs the inter-function-isolation page-rebinding hook
@@ -156,6 +184,13 @@ func (l *LibOS) Fat() *fatfs.FS {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.fat
+}
+
+// Ram returns the mounted ramfs, once fatfs loaded it in ramfs mode.
+func (l *LibOS) Ram() *ramfs.FS {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ram
 }
 
 // Shutdown releases resources owned by loaded modules (the loader calls

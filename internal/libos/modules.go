@@ -3,7 +3,6 @@ package libos
 import (
 	"fmt"
 	"io"
-	"sync"
 
 	"alloystack/internal/fatfs"
 	"alloystack/internal/loader"
@@ -134,7 +133,17 @@ func initFatfs(e any) (loader.Instance, error) {
 	if err != nil {
 		return nil, err
 	}
-	if l.cfg.UseRamfs {
+	if l.cfg.Fat != nil {
+		// Snapshot/fork path: adopt the template's mounted filesystem.
+		// No device I/O happens — the template already paid for the
+		// mount, and fatfs.FS serialises access internally.
+		if err := l.VFS.Mount("/", vfs.FatFS{FS: l.cfg.Fat}); err != nil {
+			return nil, err
+		}
+		l.mu.Lock()
+		l.fat = l.cfg.Fat
+		l.mu.Unlock()
+	} else if l.cfg.UseRamfs {
 		r := l.cfg.Ramfs
 		if r == nil {
 			r = ramfs.New()
@@ -222,20 +231,13 @@ func initStdio(e any) (loader.Instance, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Function instances in one stage run concurrently and share the
-	// configured writer, so writes must be serialised here — the caller's
-	// writer (a bytes.Buffer in tests, os.Stdout in asvisor) need not be
-	// concurrency-safe.
-	var mu sync.Mutex
-	out := l.cfg.Stdout
+	// Writes route through the LibOS so warm-pool clones can be
+	// redirected per invocation (SetStdout) and concurrent instances
+	// stay serialised over writers that need not be concurrency-safe.
 	return &module{
 		name: "stdio",
 		entries: map[loader.Symbol]any{
-			"stdio.host_stdout": StdoutFn(func(p []byte) (int, error) {
-				mu.Lock()
-				defer mu.Unlock()
-				return out.Write(p)
-			}),
+			"stdio.host_stdout": StdoutFn(l.writeStdout),
 		},
 	}, nil
 }

@@ -57,6 +57,11 @@ type region struct {
 
 	keys []uint8 // protection key per page
 
+	// cow marks a region whose data array is still shared with the
+	// template Space it was forked from; the first mutating access
+	// privatises the array (see ensureOwned in fork.go).
+	cow bool
+
 	// Lazy (fault-backed) regions start with no pages present.
 	lazy    bool
 	present []bool
@@ -78,8 +83,11 @@ type Space struct {
 	limit   uint64    // total bytes allowed to be mapped
 	mapped  uint64
 	next    uint64 // bump pointer for Map
+	sealed  bool   // frozen template: no mutation, only forking
 
-	faults uint64 // page faults served (metrics)
+	faults    uint64 // page faults served (metrics)
+	forks     uint64 // copy-on-write clones cut from this space
+	cowBreaks uint64 // inherited regions privatised by a write
 }
 
 // NewSpace returns a Space allowed to map at most limit bytes. A limit of
@@ -126,6 +134,9 @@ func (s *Space) mapRegion(base, length uint64, lazy bool, h FaultHandler) (uint6
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
+	if s.sealed {
+		return 0, ErrSealed
+	}
 	if s.limit != 0 && s.mapped+length > s.limit {
 		return 0, fmt.Errorf("%w: %d mapped, %d requested, limit %d",
 			ErrNoMemory, s.mapped, length, s.limit)
@@ -171,6 +182,9 @@ func (s *Space) mapRegion(base, length uint64, lazy bool, h FaultHandler) (uint6
 func (s *Space) Unmap(base uint64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.sealed {
+		return ErrSealed
+	}
 	idx := sort.Search(len(s.regions), func(i int) bool {
 		return s.regions[i].base >= base
 	})
@@ -202,6 +216,9 @@ func (s *Space) SetKey(base, length uint64, key uint8) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.sealed {
+		return ErrSealed
+	}
 	for addr := base; addr < base+length; {
 		r := s.find(addr)
 		if r == nil {
@@ -245,6 +262,10 @@ func (s *Space) checkAndFault(r *region, addr, n uint64, access Access, write bo
 				ErrAccessDenied, r.base+uint64(i)*PageSize, r.keys[i], write)
 		}
 		if r.lazy && !r.present[i] {
+			if s.sealed {
+				return fmt.Errorf("%w: fault fill at %#x",
+					ErrSealed, r.base+uint64(i)*PageSize)
+			}
 			pageAddr := r.base + uint64(i)*PageSize
 			data := r.data[uint64(i)*PageSize : uint64(i+1)*PageSize]
 			if err := r.handler(pageAddr, data); err != nil {
@@ -262,6 +283,7 @@ func (s *Space) ReadAt(access Access, addr uint64, p []byte) error {
 	if len(p) == 0 {
 		return nil
 	}
+	s.ensureOwned(addr, uint64(len(p)), false)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	r := s.find(addr)
@@ -280,8 +302,12 @@ func (s *Space) WriteAt(access Access, addr uint64, p []byte) error {
 	if len(p) == 0 {
 		return nil
 	}
+	s.ensureOwned(addr, uint64(len(p)), true)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if s.sealed {
+		return ErrSealed
+	}
 	r := s.find(addr)
 	if r == nil {
 		return fmt.Errorf("%w: %#x", ErrBadAddress, addr)
@@ -298,8 +324,12 @@ func (s *Space) WriteAt(access Access, addr uint64, p []byte) error {
 // address space: once a function holds a reference (the AsBuffer), reads
 // and writes are plain memory operations with no copying.
 func (s *Space) Slice(access Access, addr, n uint64, write bool) ([]byte, error) {
+	s.ensureOwned(addr, n, write)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if write && s.sealed {
+		return nil, ErrSealed
+	}
 	r := s.find(addr)
 	if r == nil {
 		return nil, fmt.Errorf("%w: %#x", ErrBadAddress, addr)

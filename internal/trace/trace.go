@@ -45,6 +45,9 @@ const (
 	CatPhase   = "phase"   // Figure-15 breakdown: read-input/compute/transfer/wait
 	CatXfer    = "xfer"    // one span per data-plane Send/Recv
 	CatSyscall = "syscall" // one span per LibOS boundary crossing
+	CatQueue   = "queue"   // admission queue wait before the run starts
+	CatBoot    = "boot"    // WFD boot: boot(cold) instantiate or boot(warm) pool fork
+	CatPool    = "pool"    // warm-pool lifecycle: template boot, refill, evict
 )
 
 // SpanData is one completed span: the exported, plain-value form.

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -23,6 +24,7 @@ import (
 	"alloystack/internal/faults"
 	"alloystack/internal/metrics"
 	"alloystack/internal/netstack"
+	"alloystack/internal/pool"
 	"alloystack/internal/ramfs"
 	"alloystack/internal/trace"
 	"alloystack/internal/xfer"
@@ -239,6 +241,20 @@ type RunOptions struct {
 	ImportSlots map[string][]byte
 	ExportSlots []string
 
+	// Pool, when non-nil, serves this invocation from a warm-instance
+	// pool: the run tries Pool.Get() for a pre-forked clone of the
+	// workflow's template WFD and falls back to a cold Instantiate on a
+	// miss. Hub-attached runs always boot cold (clones cannot share a
+	// NIC address).
+	Pool *pool.Pool
+	// WarmStart gates Pool usage per invocation; the watchdog maps the
+	// ?warm=0 escape hatch onto it. Ignored when Pool is nil.
+	WarmStart bool
+	// QueueWait is how long the request waited in the admission queue
+	// before the run started (set by the watchdog's scheduler); it is
+	// echoed into the trace as a "queue" span and into RunResult.
+	QueueWait time.Duration
+
 	// ExportPeer, when set, ships ExportSlots through the net
 	// transport to the far side's xfer.Bridge instead of returning
 	// them in RunResult.Exports — the §9 multi-node cut over a real
@@ -262,8 +278,14 @@ func DefaultRunOptions() RunOptions {
 
 // RunResult summarises one workflow invocation.
 type RunResult struct {
-	E2E       time.Duration
+	E2E time.Duration
+	// ColdStart is the WFD boot latency: a full Instantiate for cold
+	// runs, the snapshot-fork cost for warm ones.
 	ColdStart time.Duration
+	// WarmStart reports whether the run was served by a pooled clone.
+	WarmStart bool
+	// QueueWait echoes the admission-queue wait from RunOptions.
+	QueueWait time.Duration
 	// Stages is the per-stage wall time in order.
 	Stages []time.Duration
 	// Clock aggregates the read-input/compute/transfer/wait breakdown.
@@ -341,6 +363,18 @@ func (v *Visor) Workflow(name string) (*dag.Workflow, error) {
 	return w, nil
 }
 
+// Workflows lists registered workflow names, sorted.
+func (v *Visor) Workflows() []string {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	names := make([]string, 0, len(v.workflows))
+	for n := range v.workflows {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // Invoke runs a registered workflow by name.
 func (v *Visor) Invoke(name string, opts RunOptions) (*RunResult, error) {
 	w, err := v.Workflow(name)
@@ -408,27 +442,61 @@ func (v *Visor) runWorkflow(w *dag.Workflow, opts RunOptions) (*RunResult, error
 	defer root.End()
 
 	start := time.Now()
-	wfd, err := core.Instantiate(core.Options{
-		MemLimit:    opts.MemLimit,
-		BufHeapSize: opts.BufHeapSize,
-		DiskImage:   opts.DiskImage,
-		UseRamfs:    opts.UseRamfs,
-		Ramfs:       opts.Ramfs,
-		Hub:         opts.Hub,
-		IP:          opts.IP,
-		Stdout:      opts.Stdout,
-		OnDemand:    opts.OnDemand,
-		IFI:         opts.IFI,
-		CostScale:   opts.CostScale,
-	})
-	if err != nil {
-		return nil, err
+	if opts.QueueWait > 0 {
+		// The admission wait happened before this run started; chart it
+		// as a completed span leading into the root.
+		root.Complete("queue", trace.CatQueue, start.Add(-opts.QueueWait), opts.QueueWait)
 	}
-	defer wfd.Destroy()
+
+	// Boot the WFD: a warm clone from the pool when allowed, a cold
+	// Instantiate otherwise. Hub-attached runs always boot cold — a
+	// clone cannot share its template's NIC address.
+	var wfd *core.WFD
+	warm := false
+	if opts.Pool != nil && opts.WarmStart && opts.Hub == nil {
+		if clone, ok := opts.Pool.Get(); ok {
+			clone.SetStdout(opts.Stdout)
+			wfd = clone
+			warm = true
+		}
+	}
+	bootName := "boot(cold)"
+	if warm {
+		bootName = "boot(warm)"
+	}
+	bootSpan := root.Child(bootName, trace.CatBoot)
+	if wfd == nil {
+		var err error
+		wfd, err = core.Instantiate(core.Options{
+			MemLimit:    opts.MemLimit,
+			BufHeapSize: opts.BufHeapSize,
+			DiskImage:   opts.DiskImage,
+			UseRamfs:    opts.UseRamfs,
+			Ramfs:       opts.Ramfs,
+			Hub:         opts.Hub,
+			IP:          opts.IP,
+			Stdout:      opts.Stdout,
+			OnDemand:    opts.OnDemand,
+			IFI:         opts.IFI,
+			CostScale:   opts.CostScale,
+		})
+		if err != nil {
+			bootSpan.End()
+			return nil, err
+		}
+	}
+	bootSpan.End()
+	if warm {
+		defer opts.Pool.Recycle(wfd)
+	} else {
+		defer wfd.Destroy()
+	}
 
 	policy := opts.retryPolicy()
 	res := &RunResult{
 		ColdStart:   wfd.ColdStart,
+		WarmStart:   warm,
+		QueueWait:   opts.QueueWait,
 		Clock:       metrics.NewStageClock(),
 		RetryBudget: policy.MaxRetries,
 		Transfer:    metrics.NewTransportStats(),
@@ -469,12 +537,6 @@ func (v *Visor) runWorkflow(w *dag.Workflow, opts RunOptions) (*RunResult, error
 	}
 
 	var retryMu sync.Mutex
-	// Guest runtime bootstrap (e.g. the Python interpreter) happens once
-	// per WFD: the single address space shares the initialised runtime
-	// across function instances, unlike per-module isolation. Image
-	// *reads* still happen per instance (the paper's §8.5 file-reading
-	// bottleneck at higher instance counts).
-	var runtimeInit sync.Map
 	// laneSeq gives every function instance of the run its own trace
 	// lane (Chrome tid), so parallel instances render as parallel rows.
 	laneSeq := int64(0)
@@ -548,7 +610,7 @@ func (v *Visor) runWorkflow(w *dag.Workflow, opts RunOptions) (*RunResult, error
 						if native != nil {
 							return native(env, fctx)
 						}
-						return runVM(env, fctx, *vm, opts.CostScale, &runtimeInit)
+						return runVM(env, fctx, *vm, opts.CostScale, wfd)
 					}
 					ferr := runInstance(stageCtx, wfd, fctx, instSpan, body, opts, policy, res, &retryMu)
 					doneMu.Lock()
@@ -733,10 +795,14 @@ func pickStageError(errCh <-chan error) error {
 // runVM executes a guest-tier function: instantiate the ASVM module with
 // the WASI bindings over this env, optionally paying the runtime-image
 // initialisation read, then call the entry point.
-func runVM(env *asstd.Env, ctx FuncContext, vf VMFunc, costScale float64, runtimeInit *sync.Map) error {
-	if vf.RuntimeImage != "" {
-		// Python-tier runtime init: stream the runtime image through
-		// the LibOS filesystem (the paper's AS-Py startup bottleneck).
+func runVM(env *asstd.Env, ctx FuncContext, vf VMFunc, costScale float64, wfd *core.WFD) error {
+	warm := vf.RuntimeImage != "" && wfd.RuntimeWarm(vf.RuntimeImage)
+	if vf.RuntimeImage != "" && !warm {
+		// Cold Python-tier runtime init: stream the runtime image
+		// through the LibOS filesystem, once per instance (the paper's
+		// §8.5 file-reading bottleneck at higher instance counts). A
+		// warm clone skips this entirely — the initialised runtime pages
+		// arrived with the snapshot.
 		if err := asstd.MountFS(env); err != nil {
 			return err
 		}
@@ -744,15 +810,11 @@ func runVM(env *asstd.Env, ctx FuncContext, vf VMFunc, costScale float64, runtim
 			return fmt.Errorf("visor: runtime image: %w", err)
 		}
 	}
-	if vf.InitCost > 0 && costScale > 0 {
+	if vf.InitCost > 0 && costScale > 0 && !warm {
 		// Interpreter bootstrap happens once per WFD (shared address
-		// space); later instances find the runtime already initialised.
-		first := true
-		if runtimeInit != nil {
-			_, loaded := runtimeInit.LoadOrStore(vf.RuntimeImage, true)
-			first = !loaded
-		}
-		if first {
+		// space); later instances find the runtime already initialised,
+		// and warm clones inherit the template's paid bootstrap.
+		if wfd.FirstRuntimeInit(vf.RuntimeImage) {
 			time.Sleep(time.Duration(float64(vf.InitCost) * costScale))
 		}
 	}

@@ -7,11 +7,14 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
 
 	"alloystack/internal/metrics"
+	"alloystack/internal/pool"
+	"alloystack/internal/sched"
 	"alloystack/internal/trace"
 )
 
@@ -31,12 +34,31 @@ type Watchdog struct {
 	// drain before aborting them (default 10s).
 	StopGrace time.Duration
 
+	// MaxInflight caps concurrently executing invocations with a bare
+	// counting semaphore: requests over the limit are shed immediately
+	// with 429 + Retry-After. Zero means unlimited. Superseded by Sched
+	// when that is set.
+	MaxInflight int64
+
+	// Sched, when non-nil, replaces the MaxInflight semaphore with full
+	// admission control: per-workflow FIFO queues, weighted-fair
+	// dispatch, queue-depth caps and deadline-aware rejection. Shed
+	// requests get 429 with a load-derived Retry-After.
+	Sched *sched.Scheduler
+
+	// Pools, when non-nil, serves invocations from warm snapshot/fork
+	// instances when a pool exists for the workflow. Clients opt out per
+	// request with ?warm=0.
+	Pools *pool.Manager
+
 	srv       *http.Server
 	ln        net.Listener
 	inflight  atomic.Int64
 	completed atomic.Int64
 	failures  atomic.Int64
 	retries   atomic.Int64
+	shed      atomic.Int64
+	sem       atomic.Int64
 	memPeak   atomic.Uint64
 
 	// lat/transfer aggregate per-invocation observations for /metrics:
@@ -52,6 +74,10 @@ type InvokeResponse struct {
 	ColdStartMs float64 `json:"cold_start_ms"`
 	MemPeak     uint64  `json:"mem_peak_bytes"`
 	Retries     int     `json:"retries,omitempty"`
+	// WarmStart reports the invocation booted from a pooled
+	// snapshot/fork clone; QueueWaitMs is time spent in admission.
+	WarmStart   bool    `json:"warm_start,omitempty"`
+	QueueWaitMs float64 `json:"queue_wait_ms,omitempty"`
 	Error       string  `json:"error,omitempty"`
 	// TraceID/Trace/Transfer are present when the invocation was traced
 	// (?trace=1): the trace identifier, the Chrome trace_event JSON for
@@ -60,6 +86,22 @@ type InvokeResponse struct {
 	TraceID  string          `json:"trace_id,omitempty"`
 	Trace    json.RawMessage `json:"trace,omitempty"`
 	Transfer string          `json:"transfer,omitempty"`
+}
+
+// errWatchdogBusy is the semaphore-mode shed error.
+var errWatchdogBusy = errors.New("visor: watchdog at max inflight")
+
+// reject sheds an invocation with 429 Too Many Requests and a
+// Retry-After hint so well-behaved clients (and the gateway) back off.
+func (wd *Watchdog) reject(w http.ResponseWriter, name string, err error, retryAfter time.Duration) {
+	secs := int(retryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusTooManyRequests)
+	json.NewEncoder(w).Encode(InvokeResponse{Workflow: name, Error: err.Error()})
 }
 
 // NewWatchdog wraps v in an HTTP front end.
@@ -83,6 +125,7 @@ func (wd *Watchdog) Start(addr string) (string, error) {
 	mux.HandleFunc("/invoke/", wd.handleInvoke)
 	mux.HandleFunc("/healthz", wd.handleHealth)
 	mux.HandleFunc("/workflows", wd.handleList)
+	mux.HandleFunc("/pools", wd.handlePools)
 	mux.HandleFunc("/metrics", wd.handleMetrics)
 	wd.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go wd.srv.Serve(ln)
@@ -141,6 +184,37 @@ func (wd *Watchdog) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		// A disconnected client cancels the invocation it requested.
 		opts.Ctx = r.Context()
 	}
+
+	// Admission: either the full scheduler (fair queues, deadline-aware)
+	// or the bare MaxInflight semaphore. Both shed with 429 so the
+	// gateway can fail over to another backend.
+	if wd.Sched != nil {
+		grant, err := wd.Sched.Admit(opts.Ctx, name, opts.Deadline)
+		if err != nil {
+			wd.shed.Add(1)
+			wd.reject(w, name, err, wd.Sched.RetryAfter())
+			return
+		}
+		defer grant.Release()
+		opts.QueueWait = grant.Wait
+	} else if wd.MaxInflight > 0 {
+		if n := wd.sem.Add(1); n > wd.MaxInflight {
+			wd.sem.Add(-1)
+			wd.shed.Add(1)
+			wd.reject(w, name, errWatchdogBusy, time.Second)
+			return
+		}
+		defer wd.sem.Add(-1)
+	}
+
+	// Warm pools: boot from a snapshot/fork clone when a pool serves
+	// this workflow, unless the client asked for a cold boot (?warm=0).
+	if wd.Pools != nil && r.URL.Query().Get("warm") != "0" {
+		if p := wd.Pools.Get(name); p != nil {
+			opts.Pool = p
+			opts.WarmStart = true
+		}
+	}
 	// ?trace=1 turns on span collection for this invocation; the span
 	// tree comes back in the response as Chrome trace_event JSON. A
 	// tracer supplied by OptionsFor wins (the harness keeps ownership).
@@ -186,6 +260,8 @@ func (wd *Watchdog) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		resp.ColdStartMs = float64(res.ColdStart) / float64(time.Millisecond)
 		resp.MemPeak = res.MemPeak
 		resp.Retries = res.Retries
+		resp.WarmStart = res.WarmStart
+		resp.QueueWaitMs = float64(res.QueueWait) / float64(time.Millisecond)
 		resp.TraceID = res.TraceID
 		resp.Transfer = res.Transfer.String()
 	}
@@ -220,9 +296,61 @@ func (wd *Watchdog) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	pw.Header("alloystack_watchdog_mem_peak_bytes", "gauge",
 		"Largest WFD peak mapped memory observed.")
 	pw.Value("alloystack_watchdog_mem_peak_bytes", float64(wd.memPeak.Load()))
+	pw.Header("alloystack_watchdog_shed_total", "counter",
+		"Invocations rejected by admission control (429).")
+	pw.Value("alloystack_watchdog_shed_total", float64(wd.shed.Load()))
+	if wd.Sched != nil {
+		st := wd.Sched.Stats()
+		pw.Header("alloystack_sched_backlog", "gauge",
+			"Requests queued behind the concurrency limit.")
+		pw.Value("alloystack_sched_backlog", float64(st.Backlog))
+		pw.Header("alloystack_sched_admitted_total", "counter",
+			"Requests granted an execution slot.")
+		pw.Value("alloystack_sched_admitted_total", float64(st.Admitted))
+		pw.Header("alloystack_sched_deadlined_total", "counter",
+			"Requests rejected because their deadline could not be met.")
+		pw.Value("alloystack_sched_deadlined_total", float64(st.Deadlined))
+		pw.Header("alloystack_sched_queue_wait_max_ms", "gauge",
+			"Largest admission queue wait observed.")
+		pw.Value("alloystack_sched_queue_wait_max_ms", st.MaxWaitMs)
+	}
+	if wd.Pools != nil {
+		stats := wd.Pools.Stats()
+		pw.Header("alloystack_pool_warm_instances", "gauge",
+			"Idle warm clones ready to serve.")
+		for _, ps := range stats {
+			pw.Value("alloystack_pool_warm_instances", float64(ps.Warm),
+				"workflow", ps.Workflow)
+		}
+		pw.Header("alloystack_pool_hits_total", "counter",
+			"Invocations served from a warm clone.")
+		for _, ps := range stats {
+			pw.Value("alloystack_pool_hits_total", float64(ps.Hits),
+				"workflow", ps.Workflow)
+		}
+		pw.Header("alloystack_pool_misses_total", "counter",
+			"Invocations that fell back to a cold boot.")
+		for _, ps := range stats {
+			pw.Value("alloystack_pool_misses_total", float64(ps.Misses),
+				"workflow", ps.Workflow)
+		}
+	}
 	pw.Summary("alloystack_watchdog_invoke_latency_seconds", wd.lat.Summarize())
 	pw.Transport("alloystack_watchdog_transport", wd.transfer)
 }
+
+// handlePools serves warm-pool statistics as JSON (asctl pools).
+func (wd *Watchdog) handlePools(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if wd.Pools == nil {
+		w.Write([]byte("[]\n"))
+		return
+	}
+	json.NewEncoder(w).Encode(wd.Pools.Stats())
+}
+
+// Shed reports invocations rejected by admission control.
+func (wd *Watchdog) Shed() int64 { return wd.shed.Load() }
 
 func (wd *Watchdog) handleHealth(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "ok inflight=%d completed=%d\n", wd.Inflight(), wd.Completed())

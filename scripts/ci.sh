@@ -19,5 +19,8 @@ go test -race -count=1 \
 	./internal/metrics \
 	./internal/trace \
 	./internal/xfer \
+	./internal/pool \
+	./internal/sched \
 	./internal/integration
 go run ./examples/tracedemo -o trace.json
+go run ./cmd/asbench -exp coldstart -scale 0.01 | tee coldstart.txt
