@@ -2,24 +2,30 @@ GO ?= go
 
 PKGS       := ./...
 CHAOS_PKGS := ./internal/faults ./internal/visor ./internal/gateway ./internal/kvstore ./internal/integration
-RACE_PKGS  := $(CHAOS_PKGS) ./internal/trace ./internal/metrics ./internal/xfer ./internal/pool ./internal/sched
+RACE_PKGS  := ./internal/...
 
-.PHONY: all build vet test race chaos bench trace-demo coldstart-demo ci
+.PHONY: all build vet lint test race chaos bench trace-demo coldstart-demo ci
 
 all: build
 
 build:
 	$(GO) build $(PKGS)
 
+# vet runs stock go vet plus asvet, the repo's own analyzers (PKRU
+# pairing, raw memory gating, sentinel errors.Is, wall-clock reads in
+# deterministic packages, span lifetimes). `make lint` is an alias.
 vet:
 	$(GO) vet $(PKGS)
+	$(GO) run ./cmd/asvet $(PKGS)
+
+lint: vet
 
 test:
 	$(GO) test $(PKGS)
 
-# race runs the fault-tolerance and observability packages under the
-# race detector; the chaos tests are concurrency-heavy by design, so
-# this is where races surface first.
+# race runs every internal package under the race detector; the chaos
+# tests are concurrency-heavy by design, so this is where races
+# surface first.
 race:
 	$(GO) test -race $(RACE_PKGS)
 

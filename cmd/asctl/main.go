@@ -5,6 +5,7 @@
 //
 //	asctl validate workflow.json
 //	asctl describe workflow.json
+//	asctl scan workflow.json
 //	asctl invoke -node 127.0.0.1:8080 word-count
 //	asctl trace -node 127.0.0.1:8080 -o trace.json word-count
 package main
@@ -20,10 +21,13 @@ import (
 	"strings"
 	"time"
 
+	"alloystack/internal/asvm"
 	"alloystack/internal/dag"
 	"alloystack/internal/faults"
 	"alloystack/internal/pool"
+	"alloystack/internal/scan"
 	"alloystack/internal/visor"
+	"alloystack/internal/workloads"
 )
 
 func main() {
@@ -35,6 +39,8 @@ func main() {
 		cmdValidate(os.Args[2:])
 	case "describe":
 		cmdDescribe(os.Args[2:])
+	case "scan":
+		cmdScan(os.Args[2:])
 	case "invoke":
 		cmdInvoke(os.Args[2:])
 	case "trace":
@@ -50,6 +56,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   asctl validate <workflow.json>   check a workflow configuration
   asctl describe <workflow.json>   print stages and instance counts
+  asctl scan <workflow.json>       statically verify the workflow's guest images
   asctl invoke [-node host:port] [-timeout 30s] [-retries 0] <workflow>   invoke on a running asvisor
   asctl trace [-node host:port] [-o trace.json] <workflow>   invoke with tracing; write Chrome/Perfetto trace
   asctl pools [-node host:port]   show the node's warm-instance pools`)
@@ -117,6 +124,61 @@ func cmdDescribe(args []string) {
 				fmt.Printf("    %s -> %s: %s\n", dep, f.Name, kind)
 			}
 		}
+	}
+}
+
+// cmdScan runs the static ASVM verifier over every guest image the
+// workflow would stage — the same check as-visor applies at admission —
+// and prints the per-guest verdict: CFG blocks, proven worst-case stack
+// depth and the host imports the code can reach.
+func cmdScan(args []string) {
+	if len(args) != 1 {
+		usage()
+	}
+	w := loadWorkflow(args[0])
+	allow := scan.WASIAllowlist()
+	rejected := 0
+	seen := make(map[*asvm.Program]bool)
+	for _, f := range w.Functions {
+		ctx := visor.FuncContext{
+			Workflow:  w.Name,
+			Function:  f.Name,
+			Instances: f.InstancesOf(),
+			Params:    f.Params,
+		}
+		prog, _, err := workloads.GuestProgram(f.Name, ctx)
+		if err != nil {
+			lang := f.Language
+			if lang == "" {
+				lang = "native"
+			}
+			fmt.Printf("%-12s %-8s no guest image (%s tier)\n", f.Name, lang, lang)
+			continue
+		}
+		if seen[prog] {
+			fmt.Printf("%-12s %-8s OK (image already verified above)\n", f.Name, f.Language)
+			continue
+		}
+		seen[prog] = true
+		rep, err := scan.Verify(prog, allow)
+		if err != nil {
+			fmt.Printf("%-12s %-8s REJECTED: %v\n", f.Name, f.Language, err)
+			rejected++
+			continue
+		}
+		fmt.Printf("%-12s %-8s OK  funcs=%d max-stack=%d\n",
+			f.Name, f.Language, len(rep.Funcs), rep.MaxStack())
+		for _, fr := range rep.Funcs {
+			imports := "-"
+			if len(fr.Imports) > 0 {
+				imports = strings.Join(fr.Imports, ",")
+			}
+			fmt.Printf("    %-10s blocks=%-3d max-stack=%-3d imports=%s\n",
+				fr.Name, fr.Blocks, fr.MaxStack, imports)
+		}
+	}
+	if rejected > 0 {
+		fatal("%d guest image(s) rejected", rejected)
 	}
 }
 

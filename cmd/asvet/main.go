@@ -1,0 +1,125 @@
+// Command asvet is AlloyStack's project-specific static checker: a
+// multichecker driving the internal/lint analyzers over the module.
+// It machine-enforces the isolation and determinism invariants of the
+// paper's §6 threat model on the host code (internal/scan's verifier
+// covers guest images) and runs as a CI gate next to go vet.
+//
+// Usage:
+//
+//	asvet ./...                  check every package in the module
+//	asvet ./internal/visor       check one package
+//	asvet -run senterr,spanend ./...
+//	asvet -tests=false ./...     skip _test.go analysis units
+//	asvet -list                  print the analyzers and exit
+//
+// Exit status: 0 clean, 1 findings reported, 2 usage or load failure.
+// Findings can be waived in place with
+// `//asvet:allow <analyzer> -- reason`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"alloystack/internal/lint"
+)
+
+func main() {
+	run := flag.String("run", "", "comma-separated analyzers to run (default all)")
+	tests := flag.Bool("tests", true, "also analyze _test.go units")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: asvet [-run a,b] [-tests=false] <packages>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	analyzers, err := lint.ByName(*run)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal("%v", err)
+	}
+	loader, err := lint.NewLoader(cwd)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	var dirs []string
+	for _, pattern := range flag.Args() {
+		switch {
+		case pattern == "./...":
+			expanded, err := lint.PackageDirs(loader.ModuleRoot)
+			if err != nil {
+				fatal("expand %s: %v", pattern, err)
+			}
+			dirs = append(dirs, expanded...)
+		case strings.HasSuffix(pattern, "/..."):
+			expanded, err := lint.PackageDirs(strings.TrimSuffix(pattern, "/..."))
+			if err != nil {
+				fatal("expand %s: %v", pattern, err)
+			}
+			dirs = append(dirs, expanded...)
+		default:
+			dirs = append(dirs, pattern)
+		}
+	}
+
+	found := 0
+	for _, dir := range dirs {
+		var pkgs []*lint.Package
+		var only []map[string]bool
+		if *tests {
+			var err error
+			pkgs, only, err = loader.LoadDirUnits(dir)
+			if err != nil {
+				fatal("load %s: %v", dir, err)
+			}
+		} else {
+			pkg, err := loader.LoadDir(dir, "")
+			if err != nil {
+				fatal("load %s: %v", dir, err)
+			}
+			pkgs, only = []*lint.Package{pkg}, []map[string]bool{nil}
+		}
+		for i, pkg := range pkgs {
+			for _, d := range lint.RunAnalyzers(pkg, analyzers, only[i]) {
+				d.Pos.Filename = relPath(cwd, d.Pos.Filename)
+				fmt.Println(d)
+				found++
+			}
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "asvet: %d finding(s)\n", found)
+		os.Exit(1)
+	}
+}
+
+func relPath(base, path string) string {
+	if rel, err := filepath.Rel(base, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return path
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "asvet: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -89,7 +89,7 @@ func BindWASI(l *asvm.Linker, env *Env) {
 			return -1, fmt.Errorf("%w: fd_read buffer oob", errWASI)
 		}
 		got, err := f.Read(mem[ptr : ptr+n])
-		if err != nil && err != io.EOF {
+		if err != nil && !errors.Is(err, io.EOF) {
 			return -1, nil
 		}
 		return int64(got), nil

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -494,7 +495,7 @@ func measureFatfsThroughput(size int64) (readBps, writeBps float64, err error) {
 	writeBps = float64(size) / time.Since(start).Seconds()
 	buf := make([]byte, size)
 	start = time.Now()
-	if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+	if _, err := f.ReadAt(buf, 0); err != nil && !errors.Is(err, io.EOF) {
 		return 0, 0, err
 	}
 	readBps = float64(size) / time.Since(start).Seconds()

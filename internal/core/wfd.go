@@ -209,17 +209,20 @@ func (w *WFD) NewEnv(funcName string) (*asstd.Env, error) {
 		return nil, ErrDestroyed
 	}
 	userPKRU := w.userPKRU
-	ctx := mpk.NewContext(userPKRU)
-	env := asstd.NewEnv(funcName, w.NS, w.Space, ctx, userPKRU, w.sysPKRU)
+	var env *asstd.Env
 	if w.opts.IFI {
 		key, err := w.Domain.AllocKey()
 		if err != nil {
 			return nil, err
 		}
+		// The context is born directly in the IFI domain: constructing it
+		// with the final PKRU (instead of mutating a user-domain context)
+		// keeps raw WritePKRU calls out of the setup path entirely.
 		ifiPKRU := mpk.DenyAllButDefault().WithRights(key, true, true)
-		ctx.WritePKRU(ifiPKRU)
-		env = asstd.NewEnv(funcName, w.NS, w.Space, ctx, ifiPKRU, w.sysPKRU)
+		env = asstd.NewEnv(funcName, w.NS, w.Space, mpk.NewContext(ifiPKRU), ifiPKRU, w.sysPKRU)
 		env.EnableIFI(w.Domain, key)
+	} else {
+		env = asstd.NewEnv(funcName, w.NS, w.Space, mpk.NewContext(userPKRU), userPKRU, w.sysPKRU)
 	}
 	w.envs = append(w.envs, env)
 	return env, nil

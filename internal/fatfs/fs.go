@@ -2,6 +2,7 @@ package fatfs
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -794,7 +795,7 @@ func (fs *FS) ReadFile(path string) ([]byte, error) {
 	}
 	defer f.Close()
 	buf := make([]byte, f.Size())
-	if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+	if _, err := f.ReadAt(buf, 0); err != nil && !errors.Is(err, io.EOF) {
 		return nil, err
 	}
 	return buf, nil

@@ -109,7 +109,7 @@ func TestReadAtOffsets(t *testing.T) {
 	for _, off := range []int64{0, 1, 4095, 4096, 4097, 9000} {
 		got := make([]byte, 100)
 		n, err := f.ReadAt(got, off)
-		if err != nil && err != io.EOF {
+		if err != nil && !errors.Is(err, io.EOF) {
 			t.Fatalf("ReadAt(%d): %v", off, err)
 		}
 		want := payload[off:]
@@ -121,7 +121,7 @@ func TestReadAtOffsets(t *testing.T) {
 		}
 	}
 	// Reading past EOF returns EOF.
-	if _, err := f.ReadAt(make([]byte, 1), 10000); err != io.EOF {
+	if _, err := f.ReadAt(make([]byte, 1), 10000); !errors.Is(err, io.EOF) {
 		t.Fatalf("ReadAt past EOF: err = %v, want io.EOF", err)
 	}
 }
@@ -139,7 +139,7 @@ func TestWriteAtSparseGap(t *testing.T) {
 		t.Fatalf("Size = %d, want 9004", f.Size())
 	}
 	got := make([]byte, 9004)
-	if _, err := f.ReadAt(got, 0); err != nil && err != io.EOF {
+	if _, err := f.ReadAt(got, 0); err != nil && !errors.Is(err, io.EOF) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 9000; i++ {
@@ -194,7 +194,7 @@ func TestTruncate(t *testing.T) {
 		t.Fatal("shrinking truncate freed no clusters")
 	}
 	got := make([]byte, 5000)
-	if _, err := f.ReadAt(got, 0); err != nil && err != io.EOF {
+	if _, err := f.ReadAt(got, 0); err != nil && !errors.Is(err, io.EOF) {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(got, payload[:5000]) {
@@ -212,7 +212,7 @@ func TestTruncate(t *testing.T) {
 		t.Fatal(err)
 	}
 	got = make([]byte, 100)
-	if _, err := f.ReadAt(got, 0); err != nil && err != io.EOF {
+	if _, err := f.ReadAt(got, 0); err != nil && !errors.Is(err, io.EOF) {
 		t.Fatal(err)
 	}
 	for _, b := range got {
@@ -499,7 +499,7 @@ func BenchmarkFatfsRead64K(b *testing.B) {
 	b.SetBytes(int64(len(buf)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+		if _, err := f.ReadAt(buf, 0); err != nil && !errors.Is(err, io.EOF) {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package libos
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
@@ -281,7 +282,7 @@ func initMmapFileBackend(e any) (loader.Instance, error) {
 			n, rerr := f.ReadAt(page, off)
 			// Short reads past EOF leave the page zero-filled, matching
 			// mmap semantics for the file tail.
-			if rerr != nil && rerr != io.EOF {
+			if rerr != nil && !errors.Is(rerr, io.EOF) {
 				return rerr
 			}
 			for i := n; i < len(page); i++ {

@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// MemGate enforces the paper's §6 call-gate discipline on the host
+// side: all cross-domain memory access funnels through the checked
+// trampolines of as-std (or the xfer transport layer above it). Raw
+// mem.Space accessors and PKRU register writes are legal only inside
+// the trusted partition — the packages that *implement* the gate.
+var MemGate = &Analyzer{
+	Name: "memgate",
+	Doc: "raw mem.Space.ReadAt/WriteAt/Fork and mpk PKRU mutation are " +
+		"only legal in the trusted partition (mem, mpk, asstd, libos, core)",
+	IgnoreTests: true,
+	Run:         runMemGate,
+}
+
+// memgateTrusted is the partition allowed to touch raw memory and the
+// protection-key register: the address space itself, the key layer,
+// the trampolines, the LibOS, and the visor core that assembles WFDs.
+var memgateTrusted = map[string]bool{
+	"alloystack/internal/mem":   true,
+	"alloystack/internal/mpk":   true,
+	"alloystack/internal/asstd": true,
+	"alloystack/internal/libos": true,
+	"alloystack/internal/core":  true,
+}
+
+// memgateGated lists the gated methods per receiver type.
+var memgateGated = map[string]map[string]string{
+	"alloystack/internal/mem.Space": {
+		"ReadAt":  "use asstd checked accessors or the xfer transport",
+		"WriteAt": "use asstd checked accessors or the xfer transport",
+		"Fork":    "fork through core.WFD.Fork / the warm pool",
+	},
+	"alloystack/internal/mpk.Context": {
+		"WritePKRU": "domain switches belong to the asstd trampoline",
+	},
+}
+
+func runMemGate(pass *Pass) {
+	if memgateTrusted[strings.TrimSuffix(pass.PkgPath, "_test")] {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := calleeOf(pass.Info, call)
+			if obj == nil {
+				return true
+			}
+			recv, name, ok := methodID(obj)
+			if !ok {
+				return true
+			}
+			if hint, gated := memgateGated[recv][name]; gated {
+				pass.Reportf(call.Pos(),
+					"raw %s.%s outside the trusted partition; %s", recv, name, hint)
+			}
+			return true
+		})
+	}
+}

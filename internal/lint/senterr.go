@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// SentErr flags identity comparisons against sentinel error values
+// (`err == ErrX`, `err != io.EOF`, `switch err { case ErrX: }`).
+// PR 1's retry classification and the gateway's failover decisions
+// walk wrapped error chains, so a sentinel that arrives inside
+// fmt.Errorf("%w") compares unequal under == and silently defeats the
+// classification; errors.Is is the only comparison that survives
+// wrapping.
+var SentErr = &Analyzer{
+	Name: "senterr",
+	Doc:  "sentinel errors must be compared with errors.Is, not == / !=",
+	Run:  runSentErr,
+}
+
+func runSentErr(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				for _, pair := range [2][2]ast.Expr{{n.X, n.Y}, {n.Y, n.X}} {
+					sent, other := pair[0], pair[1]
+					obj, ok := sentinelErrorVar(pass.Info, sent)
+					if !ok {
+						continue
+					}
+					if tv, found := pass.Info.Types[other]; found && tv.IsNil() {
+						continue // err == nil is fine
+					}
+					if !isErrorType(pass.Info.Types[other].Type) {
+						continue
+					}
+					pass.Reportf(n.OpPos,
+						"sentinel error %s compared with %s; use errors.Is so wrapped errors still match",
+						obj.Name(), n.Op)
+					break
+				}
+			case *ast.SwitchStmt:
+				if n.Tag == nil {
+					return true
+				}
+				tv, found := pass.Info.Types[n.Tag]
+				if !found || !isErrorType(tv.Type) {
+					return true
+				}
+				for _, c := range n.Body.List {
+					cc, ok := c.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if obj, ok := sentinelErrorVar(pass.Info, e); ok {
+							pass.Reportf(e.Pos(),
+								"sentinel error %s matched by switch identity; use errors.Is so wrapped errors still match",
+								obj.Name())
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,43 @@
+// Package pool (fixture): the directory name claims the
+// determinism-critical import path alloystack/internal/pool, so
+// wallclock applies in full.
+package pool
+
+import (
+	"math/rand"
+	"time"
+)
+
+type cfg struct {
+	Clock func() time.Time
+	Seed  int64
+}
+
+func badClockReads(c *cfg, t time.Time) time.Duration {
+	now := time.Now() // want "wall-clock read time.Now in determinism-critical package"
+	_ = now
+	return time.Since(t) // want "wall-clock read time.Since in determinism-critical package"
+}
+
+func badGlobalRand() int {
+	return rand.Intn(10) // want "global math/rand draw rand.Intn in determinism-critical package"
+}
+
+func goodWaivedInjection(c *cfg) {
+	if c.Clock == nil {
+		c.Clock = time.Now //asvet:allow wallclock -- the approved injection point
+	}
+}
+
+func goodSeededRand(c *cfg) int {
+	rng := rand.New(rand.NewSource(c.Seed))
+	return rng.Intn(10) // methods on a seeded *rand.Rand are the mechanism
+}
+
+// goodConsumesTime uses durations and timers, which consume time rather
+// than observe it.
+func goodConsumesTime() {
+	time.Sleep(time.Millisecond)
+	t := time.NewTimer(time.Millisecond)
+	defer t.Stop()
+}

@@ -1,0 +1,32 @@
+// Package memgate_user is an asvet fixture: an untrusted package poking
+// raw cross-domain memory accessors and the PKRU register.
+package memgate_user
+
+import (
+	"alloystack/internal/mem"
+	"alloystack/internal/mpk"
+)
+
+func rawAccess(sp *mem.Space, ctx *mpk.Context) error {
+	buf := make([]byte, 8)
+	if err := sp.ReadAt(nil, 0, buf); err != nil { // want "raw alloystack/internal/mem.Space.ReadAt outside the trusted partition"
+		return err
+	}
+	if err := sp.WriteAt(nil, 0, buf); err != nil { // want "raw alloystack/internal/mem.Space.WriteAt outside the trusted partition"
+		return err
+	}
+	_ = sp.Fork()    // want "raw alloystack/internal/mem.Space.Fork outside the trusted partition"
+	ctx.WritePKRU(0) // want "raw alloystack/internal/mpk.Context.WritePKRU outside the trusted partition"
+	return nil
+}
+
+func waived(sp *mem.Space) *mem.Space {
+	return sp.Fork() //asvet:allow memgate -- fixture-approved fork
+}
+
+// ungatedFine exercises methods that are NOT gated: reads of metadata
+// and the key register stay legal everywhere.
+func ungatedFine(sp *mem.Space, ctx *mpk.Context) uint64 {
+	_ = ctx.ReadPKRU()
+	return sp.Forks()
+}

@@ -1,0 +1,49 @@
+// Package senterr_user is an asvet fixture: sentinel error comparison
+// shapes, legal and illegal.
+package senterr_user
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+var ErrBusy = errors.New("busy")
+
+func bad(err error) bool {
+	if err == ErrBusy { // want "sentinel error ErrBusy compared with ==; use errors.Is"
+		return true
+	}
+	if err != io.EOF { // want "sentinel error EOF compared with !=; use errors.Is"
+		return false
+	}
+	return false
+}
+
+func badSwitch(err error) string {
+	switch err {
+	case ErrBusy: // want "sentinel error ErrBusy matched by switch identity; use errors.Is"
+		return "busy"
+	case nil:
+		return "ok"
+	}
+	return "other"
+}
+
+func good(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrBusy) {
+		return true
+	}
+	wrapped := fmt.Errorf("attempt at %v: %w", time.Now(), ErrBusy)
+	return errors.Is(wrapped, io.EOF)
+}
+
+// nonSentinel compares two plain error values: not a sentinel identity
+// check, so no finding.
+func nonSentinel(a, b error) bool {
+	return a == b
+}

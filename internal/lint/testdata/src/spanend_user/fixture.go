@@ -1,0 +1,65 @@
+// Package spanend_user is an asvet fixture: span lifetimes, leaked and
+// properly closed.
+package spanend_user
+
+import "alloystack/internal/trace"
+
+func goodDeferred(tr *trace.Tracer) {
+	sp := tr.Start("op", trace.CatInvoke)
+	defer sp.End()
+	work()
+}
+
+func goodExplicitAllPaths(tr *trace.Tracer, fail bool) error {
+	sp := tr.Start("op", trace.CatInvoke)
+	if fail {
+		sp.End()
+		return errFixture
+	}
+	work()
+	sp.End()
+	return nil
+}
+
+func badLeakedOnEarlyReturn(tr *trace.Tracer, fail bool) error {
+	sp := tr.Start("op", trace.CatInvoke) // want "not Ended on all paths to return"
+	if fail {
+		return errFixture // the span never reaches the recorder
+	}
+	sp.End()
+	return nil
+}
+
+func badChildLeaked(tr *trace.Tracer) {
+	root := tr.Start("op", trace.CatInvoke)
+	defer root.End()
+	child := root.Child("sub", trace.CatXfer) // want "not Ended on all paths to return"
+	child.Event("tick")
+}
+
+func badDiscarded(tr *trace.Tracer) {
+	_ = tr.Start("op", trace.CatInvoke) // want "span started and discarded"
+}
+
+// goodEscapes transfers the End obligation to the caller, like the
+// lostcancel contract: returning the span is not a leak here.
+func goodEscapes(tr *trace.Tracer) *trace.Span {
+	sp := tr.Start("op", trace.CatInvoke)
+	sp.SetAttr("k", 1)
+	return sp
+}
+
+// goodStored parks the span in a struct; the obligation moves with it.
+type holder struct{ sp *trace.Span }
+
+func goodStored(tr *trace.Tracer, h *holder) {
+	h.sp = tr.Start("op", trace.CatInvoke)
+}
+
+func work() {}
+
+var errFixture = errorString("fixture")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

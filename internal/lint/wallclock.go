@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// WallClock guards the determinism story built up by PRs 1, 3 and 4:
+// the chaos fault planner, the warm-pool maintainer, the admission
+// scheduler and the trace fingerprint must produce identical decisions
+// for identical seeds. A stray time.Now or a draw from math/rand's
+// global source inside those paths silently re-couples them to the
+// wall clock. Clocks and randomness must be injected — the single
+// approved injection point (the `cfg.Clock = time.Now` default) is
+// waived in place with //asvet:allow wallclock.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc: "determinism-critical packages must not read the wall clock " +
+		"or the global math/rand source outside approved injection points",
+	IgnoreTests: true,
+	Run:         runWallClock,
+}
+
+// wallclockScope maps each determinism-critical package to the file
+// prefix the check applies to ("" = every file in the package).
+var wallclockScope = map[string]string{
+	"alloystack/internal/faults": "",
+	"alloystack/internal/pool":   "",
+	"alloystack/internal/sched":  "",
+	// The tracer legitimately timestamps spans; only its structural
+	// fingerprint (the chaos-determinism witness) must stay clock-free.
+	"alloystack/internal/trace": "fingerprint",
+}
+
+// wallclockTimeFuncs are the time package reads that break seeded
+// replay. Durations, timers and Sleep are fine — they consume time,
+// they do not observe it.
+var wallclockTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+}
+
+// wallclockRandExempt are math/rand constructors: a *rand.Rand built
+// from an explicit seed IS the approved determinism mechanism.
+var wallclockRandExempt = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+func runWallClock(pass *Pass) {
+	prefix, scoped := wallclockScope[strings.TrimSuffix(pass.PkgPath, "_test")]
+	if !scoped {
+		return
+	}
+	for i, f := range pass.Files {
+		base := filepath.Base(pass.Filenames[i])
+		if prefix != "" && !strings.HasPrefix(base, prefix) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if wallclockTimeFuncs[fn.Name()] {
+					pass.Reportf(id.Pos(),
+						"wall-clock read time.%s in determinism-critical package %s; inject a clock"+
+							" (waive the single injection point with //asvet:allow wallclock)",
+						fn.Name(), pass.PkgPath)
+				}
+			case "math/rand", "math/rand/v2":
+				if sig, isSig := fn.Type().(*types.Signature); isSig && sig.Recv() != nil {
+					return true // methods on an explicitly seeded *rand.Rand
+				}
+				if !wallclockRandExempt[fn.Name()] {
+					pass.Reportf(id.Pos(),
+						"global math/rand draw rand.%s in determinism-critical package %s;"+
+							" use a seeded rand.New(rand.NewSource(seed))",
+						fn.Name(), pass.PkgPath)
+				}
+			}
+			return true
+		})
+	}
+}

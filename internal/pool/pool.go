@@ -142,7 +142,7 @@ func New(spec Spec, cfg Config) (*Pool, error) {
 		cfg.Window = 30 * time.Second
 	}
 	if cfg.Clock == nil {
-		cfg.Clock = time.Now
+		cfg.Clock = time.Now //asvet:allow wallclock -- the approved clock injection point
 	}
 
 	p := &Pool{

@@ -1,4 +1,4 @@
-package scan
+package scan_test
 
 import (
 	"alloystack/internal/asvm"

@@ -1,4 +1,4 @@
-package scan
+package scan_test
 
 import (
 	"errors"
@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"alloystack/internal/asvm"
+	"alloystack/internal/scan"
 )
 
 // wrpkruImm is an immediate whose little-endian bytes contain 0F 01 EF.
@@ -28,7 +29,7 @@ end
 }
 
 func TestScanCleanProgram(t *testing.T) {
-	rep, err := Scan(cleanProg(t), WASIAllowlist())
+	rep, err := scan.Scan(cleanProg(t), scan.WASIAllowlist())
 	if err != nil {
 		t.Fatalf("clean program rejected: %v", err)
 	}
@@ -46,7 +47,7 @@ func run 0 0 0
   ret
 end
 `)
-	if _, err := Scan(prog, WASIAllowlist()); !errors.Is(err, ErrForbiddenImport) {
+	if _, err := scan.Scan(prog, scan.WASIAllowlist()); !errors.Is(err, scan.ErrForbiddenImport) {
 		t.Fatalf("forbidden import: err = %v", err)
 	}
 }
@@ -62,7 +63,7 @@ func TestScanDetectsWRPKRUImmediate(t *testing.T) {
 			},
 		}},
 	}
-	if _, err := Scan(prog, WASIAllowlist()); !errors.Is(err, ErrForbiddenBytes) {
+	if _, err := scan.Scan(prog, scan.WASIAllowlist()); !errors.Is(err, scan.ErrForbiddenBytes) {
 		t.Fatalf("wrpkru immediate: err = %v", err)
 	}
 }
@@ -75,7 +76,7 @@ func TestScanDetectsWRPKRUInData(t *testing.T) {
 		},
 		Funcs: []asvm.Func{{Name: "run", Code: []asvm.Instr{{Op: asvm.OpRet}}}},
 	}
-	if _, err := Scan(prog, WASIAllowlist()); !errors.Is(err, ErrForbiddenBytes) {
+	if _, err := scan.Scan(prog, scan.WASIAllowlist()); !errors.Is(err, scan.ErrForbiddenBytes) {
 		t.Fatalf("wrpkru in data: err = %v", err)
 	}
 }
@@ -95,7 +96,7 @@ func TestRewritePreservesSemantics(t *testing.T) {
 			},
 		}},
 	}
-	fixed, rep, err := Rewrite(prog, WASIAllowlist())
+	fixed, rep, err := scan.Rewrite(prog, scan.WASIAllowlist())
 	if err != nil {
 		t.Fatalf("Rewrite: %v", err)
 	}
@@ -149,7 +150,7 @@ func TestRewriteFixesJumpTargets(t *testing.T) {
 		asvm.Instr{Op: asvm.OpLocalGet, Arg: 0},
 		asvm.Instr{Op: asvm.OpRet},
 	)
-	fixed, _, err := Rewrite(prog, WASIAllowlist())
+	fixed, _, err := scan.Rewrite(prog, scan.WASIAllowlist())
 	if err != nil {
 		t.Fatalf("Rewrite: %v", err)
 	}
@@ -171,14 +172,14 @@ func TestRewritePatchesData(t *testing.T) {
 		},
 		Funcs: []asvm.Func{{Name: "run", Code: []asvm.Instr{{Op: asvm.OpRet}}}},
 	}
-	fixed, rep, err := Rewrite(prog, WASIAllowlist())
+	fixed, rep, err := scan.Rewrite(prog, scan.WASIAllowlist())
 	if err != nil {
 		t.Fatalf("Rewrite: %v", err)
 	}
 	if rep.DataPatched != 1 {
 		t.Fatalf("data patches = %d", rep.DataPatched)
 	}
-	if _, err := Scan(fixed, WASIAllowlist()); err != nil {
+	if _, err := scan.Scan(fixed, scan.WASIAllowlist()); err != nil {
 		t.Fatalf("patched program still flagged: %v", err)
 	}
 }
@@ -211,11 +212,11 @@ func TestPropertyRewriteConverges(t *testing.T) {
 			MemSize: 64,
 			Funcs:   []asvm.Func{{Name: "run", Results: 1, Code: code}},
 		}
-		fixed, _, err := Rewrite(prog, WASIAllowlist())
+		fixed, _, err := scan.Rewrite(prog, scan.WASIAllowlist())
 		if err != nil {
 			return false
 		}
-		if _, err := Scan(fixed, WASIAllowlist()); err != nil {
+		if _, err := scan.Scan(fixed, scan.WASIAllowlist()); err != nil {
 			return false
 		}
 		inst, err := asvm.NewLinker().Instantiate(fixed, asvm.Config{})
@@ -238,7 +239,7 @@ func TestBenchmarkGuestsScanClean(t *testing.T) {
 		t.Fatalf("expected the full guest suite, got %d programs", len(progs))
 	}
 	for name, p := range progs {
-		if _, err := Scan(p, WASIAllowlist()); err != nil {
+		if _, err := scan.Scan(p, scan.WASIAllowlist()); err != nil {
 			t.Fatalf("shipped guest %s rejected: %v", name, err)
 		}
 	}

@@ -1,0 +1,276 @@
+package scan
+
+// verify.go is the static ASVM bytecode verifier: the guest-side
+// counterpart of cmd/asvet's host-side analyzers. Before a workflow is
+// admitted, every ASVM function image it stages is proven safe by
+// construction — control flow lands only on real instruction
+// boundaries, the operand stack can never underflow or arrive at a
+// join with two different shapes, and the only host imports reachable
+// from the code are the ones on the platform allowlist. This is the
+// validate-before-execute discipline WASM engines apply (and the paper
+// relies on in §6): the runtime then never needs to trust a guest not
+// to do these things, because a guest that could has no way through
+// admission.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"alloystack/internal/asvm"
+)
+
+// Typed verifier rejections, all wrapping ErrVerify so callers can
+// classify "statically rejected" with a single errors.Is.
+var (
+	// ErrVerify is the common ancestor of every verifier rejection.
+	ErrVerify = errors.New("scan: program failed static verification")
+	// ErrBadJump marks a branch whose target is outside the function's
+	// code (the ASVM analogue of jumping into the middle of an x86
+	// instruction).
+	ErrBadJump = fmt.Errorf("%w: jump target outside function code", ErrVerify)
+	// ErrStackUnderflow marks an instruction that pops more values than
+	// any path can have pushed.
+	ErrStackUnderflow = fmt.Errorf("%w: instruction underflows the operand stack", ErrVerify)
+	// ErrStackShape marks a control-flow join reached with two different
+	// stack depths — the program's stack effect is path-dependent and
+	// its behaviour cannot be bounded statically.
+	ErrStackShape = fmt.Errorf("%w: inconsistent stack depth at control-flow join", ErrVerify)
+	// ErrStackLeak marks a return whose stack depth disagrees with the
+	// function's declared result count: values would leak into (or be
+	// stolen from) the caller's frame on the shared value stack.
+	ErrStackLeak = fmt.Errorf("%w: stack depth at return does not match declared results", ErrVerify)
+)
+
+// FuncReport summarises one verified function for operators
+// (`asctl scan` prints it) and for tests.
+type FuncReport struct {
+	Name string
+	// Blocks is the number of basic blocks in the function's CFG.
+	Blocks int
+	// MaxStack is the statically proven worst-case operand stack depth.
+	MaxStack int
+	// Imports lists the host imports this function's code can invoke,
+	// sorted by name.
+	Imports []string
+}
+
+// VerifyReport is the full verdict for a program that passed.
+type VerifyReport struct {
+	// Scan carries the byte-pattern scanner's findings (always zero
+	// rewrites — Verify rejects rather than rewrites).
+	Scan *Report
+	// Funcs has one entry per program function, in program order.
+	Funcs []FuncReport
+}
+
+// MaxStack returns the deepest operand stack any function can reach.
+func (r *VerifyReport) MaxStack() int {
+	max := 0
+	for _, f := range r.Funcs {
+		if f.MaxStack > max {
+			max = f.MaxStack
+		}
+	}
+	return max
+}
+
+// Verify statically proves prog safe to admit: structural validity,
+// no blacklisted byte patterns, imports within allowlist, and for every
+// function a CFG whose operand-stack effect is well-defined on all
+// paths. It is the check visors run at workflow admission; a non-nil
+// error always wraps ErrVerify, ErrForbiddenImport or
+// ErrForbiddenBytes.
+func Verify(prog *asvm.Program, allowedImports map[string]bool) (*VerifyReport, error) {
+	// Branch targets first, with the verifier's own typed error: the
+	// later structural Validate would fold this into a generic
+	// validation failure.
+	for _, f := range prog.Funcs {
+		for pc, ins := range f.Code {
+			switch ins.Op {
+			case asvm.OpJmp, asvm.OpJz, asvm.OpJnz:
+				if ins.Arg < 0 || ins.Arg >= int64(len(f.Code)) {
+					return nil, fmt.Errorf("%w: %s+%d -> %d (code length %d)",
+						ErrBadJump, f.Name, pc, ins.Arg, len(f.Code))
+				}
+			}
+		}
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrVerify, err)
+	}
+	scanRep, err := Scan(prog, allowedImports)
+	if err != nil {
+		return nil, err
+	}
+	rep := &VerifyReport{Scan: scanRep}
+	for fi := range prog.Funcs {
+		fr, err := verifyFunc(prog, fi)
+		if err != nil {
+			return nil, err
+		}
+		rep.Funcs = append(rep.Funcs, fr)
+	}
+	return rep, nil
+}
+
+// stackEffect returns how many values ins pops and pushes. Branches,
+// returns and halts are handled by the dataflow walk itself.
+func stackEffect(prog *asvm.Program, ins asvm.Instr) (pops, pushes int) {
+	switch ins.Op {
+	case asvm.OpPush, asvm.OpLocalGet, asvm.OpGlobalGet, asvm.OpMemSize:
+		return 0, 1
+	case asvm.OpDrop, asvm.OpLocalSet, asvm.OpGlobalSet, asvm.OpJz, asvm.OpJnz:
+		return 1, 0
+	case asvm.OpDup:
+		return 1, 2
+	case asvm.OpSwap:
+		return 2, 2
+	case asvm.OpAdd, asvm.OpSub, asvm.OpMul, asvm.OpDivS, asvm.OpRemS,
+		asvm.OpAnd, asvm.OpOr, asvm.OpXor, asvm.OpShl, asvm.OpShrS,
+		asvm.OpEq, asvm.OpNe, asvm.OpLtS, asvm.OpGtS, asvm.OpLeS, asvm.OpGeS:
+		return 2, 1
+	case asvm.OpCall:
+		callee := prog.Funcs[ins.Arg]
+		return callee.NArgs, callee.Results
+	case asvm.OpHost:
+		imp := prog.Imports[ins.Arg]
+		if imp.HasResult {
+			return imp.Arity, 1
+		}
+		return imp.Arity, 0
+	case asvm.OpLoad8U, asvm.OpLoad64, asvm.OpMemGrow:
+		return 1, 1
+	case asvm.OpStore8, asvm.OpStore64:
+		return 2, 0
+	case asvm.OpMemCopy:
+		return 3, 0
+	}
+	return 0, 0 // nop, jmp, ret, halt
+}
+
+// verifyFunc runs the worklist dataflow over one function: basic blocks
+// from branch leaders, one abstract stack depth per block entry,
+// underflow / join-shape / return-balance checks along the way.
+func verifyFunc(prog *asvm.Program, fi int) (FuncReport, error) {
+	f := &prog.Funcs[fi]
+	rep := FuncReport{Name: f.Name}
+
+	// Leaders: function entry, every branch target, every instruction
+	// following a branch or terminator.
+	leaders := map[int]bool{0: true}
+	for pc, ins := range f.Code {
+		switch ins.Op {
+		case asvm.OpJmp, asvm.OpJz, asvm.OpJnz:
+			leaders[int(ins.Arg)] = true
+			if pc+1 < len(f.Code) {
+				leaders[pc+1] = true
+			}
+		case asvm.OpRet, asvm.OpHalt:
+			if pc+1 < len(f.Code) {
+				leaders[pc+1] = true
+			}
+		}
+	}
+	starts := make([]int, 0, len(leaders))
+	for pc := range leaders {
+		starts = append(starts, pc)
+	}
+	sort.Ints(starts)
+	if len(f.Code) > 0 {
+		rep.Blocks = len(starts)
+	}
+	blockEnd := func(start int) int { // exclusive
+		i := sort.SearchInts(starts, start+1)
+		if i < len(starts) {
+			return starts[i]
+		}
+		return len(f.Code)
+	}
+
+	imports := map[string]bool{}
+	entryDepth := map[int]int{} // block start -> depth on entry
+	entryDepth[0] = 0           // arguments live in locals, not on the stack
+	work := []int{0}
+	maxDepth := 0
+
+	flow := func(from, target, depth int) error {
+		if have, seen := entryDepth[target]; seen {
+			if have != depth {
+				return fmt.Errorf("%w: %s+%d joins +%d with depth %d, previously %d",
+					ErrStackShape, f.Name, from, target, depth, have)
+			}
+			return nil
+		}
+		entryDepth[target] = depth
+		work = append(work, target)
+		return nil
+	}
+
+	for len(work) > 0 {
+		start := work[len(work)-1]
+		work = work[:len(work)-1]
+		depth := entryDepth[start]
+		end := blockEnd(start)
+
+		fellThrough := true
+		for pc := start; pc < end; pc++ {
+			ins := f.Code[pc]
+			pops, pushes := stackEffect(prog, ins)
+			if depth < pops {
+				return rep, fmt.Errorf("%w: %s+%d %v needs %d value(s), stack has %d",
+					ErrStackUnderflow, f.Name, pc, ins.Op, pops, depth)
+			}
+			depth += pushes - pops
+			if depth > maxDepth {
+				maxDepth = depth
+			}
+			if ins.Op == asvm.OpHost {
+				imports[prog.Imports[ins.Arg].Name] = true
+			}
+			switch ins.Op {
+			case asvm.OpJmp:
+				if err := flow(pc, int(ins.Arg), depth); err != nil {
+					return rep, err
+				}
+				fellThrough = false
+			case asvm.OpJz, asvm.OpJnz:
+				if err := flow(pc, int(ins.Arg), depth); err != nil {
+					return rep, err
+				}
+			case asvm.OpRet:
+				if depth != f.Results {
+					return rep, fmt.Errorf("%w: %s+%d returns with stack depth %d, declared results %d",
+						ErrStackLeak, f.Name, pc, depth, f.Results)
+				}
+				fellThrough = false
+			case asvm.OpHalt:
+				// Halt aborts the whole program; no frame is resumed, so
+				// no balance obligation.
+				fellThrough = false
+			}
+			if !fellThrough {
+				break
+			}
+		}
+		if fellThrough {
+			if end < len(f.Code) {
+				if err := flow(end-1, end, depth); err != nil {
+					return rep, err
+				}
+			} else if depth != f.Results {
+				// Falling off the end is an implicit return.
+				return rep, fmt.Errorf("%w: %s falls off the end with stack depth %d, declared results %d",
+					ErrStackLeak, f.Name, depth, f.Results)
+			}
+		}
+	}
+
+	rep.MaxStack = maxDepth
+	rep.Imports = make([]string, 0, len(imports))
+	for name := range imports {
+		rep.Imports = append(rep.Imports, name)
+	}
+	sort.Strings(rep.Imports)
+	return rep, nil
+}

@@ -1,0 +1,214 @@
+package scan_test
+
+import (
+	"errors"
+	"testing"
+
+	"alloystack/internal/asvm"
+	"alloystack/internal/scan"
+)
+
+// prog wraps one function into a minimal program.
+func prog(f asvm.Func) *asvm.Program {
+	return &asvm.Program{MemSize: 4096, Funcs: []asvm.Func{f}}
+}
+
+func TestVerifyShippedGuestsPass(t *testing.T) {
+	allow := scan.WASIAllowlist()
+	for name, p := range guestPrograms() {
+		rep, err := scan.Verify(p, allow)
+		if err != nil {
+			t.Errorf("shipped guest %s rejected: %v", name, err)
+			continue
+		}
+		if len(rep.Funcs) != len(p.Funcs) {
+			t.Errorf("%s: report covers %d of %d functions", name, len(rep.Funcs), len(p.Funcs))
+		}
+		for _, fr := range rep.Funcs {
+			if fr.Blocks == 0 {
+				t.Errorf("%s/%s: no blocks in a non-empty function", name, fr.Name)
+			}
+			for _, imp := range fr.Imports {
+				if !allow[imp] {
+					t.Errorf("%s/%s: report lists off-allowlist import %s", name, fr.Name, imp)
+				}
+			}
+		}
+		if rep.MaxStack() <= 0 {
+			t.Errorf("%s: max stack = %d", name, rep.MaxStack())
+		}
+	}
+}
+
+func TestVerifyMalformedJumpRejected(t *testing.T) {
+	p := prog(asvm.Func{
+		Name: "run",
+		Code: []asvm.Instr{
+			{Op: asvm.OpJmp, Arg: 99}, // outside the function
+			{Op: asvm.OpRet},
+		},
+	})
+	_, err := scan.Verify(p, scan.WASIAllowlist())
+	if !errors.Is(err, scan.ErrBadJump) {
+		t.Fatalf("malformed jump: err = %v", err)
+	}
+	if !errors.Is(err, scan.ErrVerify) {
+		t.Fatalf("ErrBadJump must wrap ErrVerify, got %v", err)
+	}
+}
+
+func TestVerifyStackUnderflowRejected(t *testing.T) {
+	p := prog(asvm.Func{
+		Name: "run",
+		Code: []asvm.Instr{
+			{Op: asvm.OpAdd}, // pops 2 from an empty stack
+			{Op: asvm.OpRet},
+		},
+	})
+	if _, err := scan.Verify(p, scan.WASIAllowlist()); !errors.Is(err, scan.ErrStackUnderflow) {
+		t.Fatalf("underflow: err = %v", err)
+	}
+}
+
+func TestVerifyStackLeakRejected(t *testing.T) {
+	// Declares no results but returns with one value on the shared
+	// stack — it would corrupt the caller's frame picture.
+	p := prog(asvm.Func{
+		Name: "run",
+		Code: []asvm.Instr{
+			{Op: asvm.OpPush, Arg: 7},
+			{Op: asvm.OpRet},
+		},
+	})
+	if _, err := scan.Verify(p, scan.WASIAllowlist()); !errors.Is(err, scan.ErrStackLeak) {
+		t.Fatalf("leak at ret: err = %v", err)
+	}
+
+	// Falling off the end is an implicit return and must balance too.
+	p = prog(asvm.Func{
+		Name: "run",
+		Code: []asvm.Instr{{Op: asvm.OpPush, Arg: 7}},
+	})
+	if _, err := scan.Verify(p, scan.WASIAllowlist()); !errors.Is(err, scan.ErrStackLeak) {
+		t.Fatalf("leak at fall-off: err = %v", err)
+	}
+}
+
+func TestVerifyJoinShapeMismatchRejected(t *testing.T) {
+	// One predecessor reaches the join with depth 1, the other with 2.
+	p := prog(asvm.Func{
+		Name: "run", Results: 1,
+		Code: []asvm.Instr{
+			{Op: asvm.OpPush, Arg: 0}, // 0
+			{Op: asvm.OpJz, Arg: 4},   // 1: depth 0 on both edges
+			{Op: asvm.OpPush, Arg: 1}, // 2
+			{Op: asvm.OpPush, Arg: 2}, // 3: fallthrough edge arrives depth 2
+			{Op: asvm.OpPush, Arg: 3}, // 4: join — jz edge arrives depth 0
+			{Op: asvm.OpRet},          // 5
+		},
+	})
+	if _, err := scan.Verify(p, scan.WASIAllowlist()); !errors.Is(err, scan.ErrStackShape) {
+		t.Fatalf("join mismatch: err = %v", err)
+	}
+}
+
+func TestVerifyAllowlistEscapeRejected(t *testing.T) {
+	p := &asvm.Program{
+		MemSize: 64,
+		Imports: []asvm.Import{{Name: "raw_syscall", Arity: 1, HasResult: true}},
+		Funcs: []asvm.Func{{
+			Name: "run", Results: 1,
+			Code: []asvm.Instr{
+				{Op: asvm.OpPush, Arg: 9},
+				{Op: asvm.OpHost, Arg: 0},
+				{Op: asvm.OpRet},
+			},
+		}},
+	}
+	if _, err := scan.Verify(p, scan.WASIAllowlist()); !errors.Is(err, scan.ErrForbiddenImport) {
+		t.Fatalf("allowlist escape: err = %v", err)
+	}
+}
+
+func TestVerifyBalancedLoopPasses(t *testing.T) {
+	// sum = arg + arg-1 + ... + 1: a diamond with a back edge, balanced
+	// on every path.
+	p := prog(asvm.Func{
+		Name: "run", NArgs: 1, NLocals: 2, Results: 1,
+		Code: []asvm.Instr{
+			{Op: asvm.OpLocalGet, Arg: 0}, // 0: loop head
+			{Op: asvm.OpJz, Arg: 11},      // 1: done when n == 0
+			{Op: asvm.OpLocalGet, Arg: 1}, // 2
+			{Op: asvm.OpLocalGet, Arg: 0}, // 3
+			{Op: asvm.OpAdd},              // 4
+			{Op: asvm.OpLocalSet, Arg: 1}, // 5: acc += n
+			{Op: asvm.OpLocalGet, Arg: 0}, // 6
+			{Op: asvm.OpPush, Arg: 1},     // 7
+			{Op: asvm.OpSub},              // 8
+			{Op: asvm.OpLocalSet, Arg: 0}, // 9: n--
+			{Op: asvm.OpJmp, Arg: 0},      // 10
+			{Op: asvm.OpLocalGet, Arg: 1}, // 11: done
+			{Op: asvm.OpRet},              // 12
+		},
+	})
+	rep, err := scan.Verify(p, scan.WASIAllowlist())
+	if err != nil {
+		t.Fatalf("balanced loop rejected: %v", err)
+	}
+	fr := rep.Funcs[0]
+	if fr.Blocks < 3 {
+		t.Fatalf("loop CFG has %d blocks", fr.Blocks)
+	}
+	if fr.MaxStack != 2 {
+		t.Fatalf("max stack = %d, want 2", fr.MaxStack)
+	}
+	// The verified program must actually run and agree with the report.
+	inst, err := asvm.NewLinker().Instantiate(p, asvm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := inst.Call("run", 4)
+	if err != nil || got != 10 {
+		t.Fatalf("run(4) = %d, %v; want 10", got, err)
+	}
+}
+
+func TestVerifyCallArityFlowsThroughStack(t *testing.T) {
+	// Caller pushes one arg for a 2-arg callee: underflow at the call.
+	p := &asvm.Program{
+		MemSize: 64,
+		Funcs: []asvm.Func{
+			{Name: "run", Results: 1, Code: []asvm.Instr{
+				{Op: asvm.OpPush, Arg: 1},
+				{Op: asvm.OpCall, Arg: 1}, // add2 wants 2 args
+				{Op: asvm.OpRet},
+			}},
+			{Name: "add2", NArgs: 2, NLocals: 2, Results: 1, Code: []asvm.Instr{
+				{Op: asvm.OpLocalGet, Arg: 0},
+				{Op: asvm.OpLocalGet, Arg: 1},
+				{Op: asvm.OpAdd},
+				{Op: asvm.OpRet},
+			}},
+		},
+	}
+	if _, err := scan.Verify(p, scan.WASIAllowlist()); !errors.Is(err, scan.ErrStackUnderflow) {
+		t.Fatalf("call arity: err = %v", err)
+	}
+}
+
+func TestVerifyHaltNeedsNoBalance(t *testing.T) {
+	// halt aborts the program; stack depth at that point is
+	// unconstrained.
+	p := prog(asvm.Func{
+		Name: "run", Results: 1,
+		Code: []asvm.Instr{
+			{Op: asvm.OpPush, Arg: 1},
+			{Op: asvm.OpPush, Arg: 2},
+			{Op: asvm.OpPush, Arg: 3},
+			{Op: asvm.OpHalt},
+		},
+	})
+	if _, err := scan.Verify(p, scan.WASIAllowlist()); err != nil {
+		t.Fatalf("halt: %v", err)
+	}
+}

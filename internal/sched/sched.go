@@ -113,7 +113,7 @@ func New(cfg Config) *Scheduler {
 		cfg.MaxQueue = 64
 	}
 	if cfg.Clock == nil {
-		cfg.Clock = time.Now
+		cfg.Clock = time.Now //asvet:allow wallclock -- the approved clock injection point
 	}
 	return &Scheduler{
 		cfg:    cfg,

@@ -1,0 +1,29 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Fingerprint canonicalises the span tree structurally — sorted
+// "cat:parentName>name" lines plus event names — so two runs under the
+// same seeded fault plan can be compared for identical trace shape
+// regardless of goroutine scheduling and wall-clock timing. It lives in
+// its own file because asvet's wallclock analyzer holds everything in
+// fingerprint*.go to the no-wall-clock rule: the fingerprint is the
+// chaos-determinism witness and must never observe time.
+func (t *Tracer) Fingerprint() string {
+	if t == nil {
+		return ""
+	}
+	var lines []string
+	for _, sd := range t.Spans() {
+		lines = append(lines, fmt.Sprintf("%s:%s>%s", sd.Cat, sd.ParentName, sd.Name))
+	}
+	for _, ev := range t.Events() {
+		lines = append(lines, fmt.Sprintf("event:%s@%s", ev.Name, ev.SpanName))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

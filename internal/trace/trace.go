@@ -29,7 +29,6 @@ package trace
 import (
 	"fmt"
 	"sort"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -232,25 +231,6 @@ func (t *Tracer) PhaseTotals() map[string]time.Duration {
 		}
 	}
 	return out
-}
-
-// Fingerprint canonicalises the span tree structurally — sorted
-// "cat:parentName>name" lines plus event names — so two runs under the
-// same seeded fault plan can be compared for identical trace shape
-// regardless of goroutine scheduling and wall-clock timing.
-func (t *Tracer) Fingerprint() string {
-	if t == nil {
-		return ""
-	}
-	var lines []string
-	for _, sd := range t.Spans() {
-		lines = append(lines, fmt.Sprintf("%s:%s>%s", sd.Cat, sd.ParentName, sd.Name))
-	}
-	for _, ev := range t.Events() {
-		lines = append(lines, fmt.Sprintf("event:%s@%s", ev.Name, ev.SpanName))
-	}
-	sort.Strings(lines)
-	return strings.Join(lines, "\n")
 }
 
 // Span is a handle on an in-flight span. The nil *Span is the no-op

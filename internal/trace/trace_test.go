@@ -195,6 +195,7 @@ func TestSyscallSpansGated(t *testing.T) {
 	if sp.Syscall("fdtab.open") != nil {
 		t.Fatal("syscall span recorded without opt-in")
 	}
+	sp.End()
 	verbose := New("n", Options{Syscalls: true})
 	vr := verbose.Start("r", CatInvoke)
 	sc := vr.Syscall("fdtab.open")
@@ -263,6 +264,7 @@ func BenchmarkDisabled(b *testing.B) {
 		s.Syscall("x").End()
 		s.End()
 	}
+	root.End()
 }
 
 // BenchmarkEnabled is the recording counterpart, for the overhead
@@ -276,4 +278,5 @@ func BenchmarkEnabled(b *testing.B) {
 		s.SetAttr("bytes", 1)
 		s.End()
 	}
+	root.End()
 }

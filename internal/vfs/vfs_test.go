@@ -245,7 +245,7 @@ func TestFatThroughVFSLargeFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := make([]byte, len(payload))
-	if _, err := tab.ReadAt(fd, got, 0); err != nil && err != io.EOF {
+	if _, err := tab.ReadAt(fd, got, 0); err != nil && !errors.Is(err, io.EOF) {
 		t.Fatal(err)
 	}
 	for i := range got {

@@ -14,6 +14,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"alloystack/internal/asstd"
@@ -26,6 +27,7 @@ import (
 	"alloystack/internal/netstack"
 	"alloystack/internal/pool"
 	"alloystack/internal/ramfs"
+	"alloystack/internal/scan"
 	"alloystack/internal/trace"
 	"alloystack/internal/xfer"
 )
@@ -34,6 +36,10 @@ import (
 var (
 	ErrUnknownFunction = errors.New("visor: function not registered")
 	ErrUnknownWorkflow = errors.New("visor: workflow not registered")
+	// ErrRejected wraps an admission-scan failure: a guest image the
+	// workflow stages did not pass static verification (internal/scan).
+	// The watchdog maps it to HTTP 403.
+	ErrRejected = errors.New("visor: guest image rejected by admission scan")
 )
 
 // FuncContext is the runtime information handed to each function
@@ -332,8 +338,18 @@ func EdgeTransfer(params map[string]string, opts RunOptions) string {
 type Visor struct {
 	Funcs *Registry
 
+	// ImportAllowlist is the host-import set granted to guest images at
+	// admission. Nil means scan.WASIAllowlist(). Fix it before the
+	// first invocation: admission verdicts are cached per program.
+	ImportAllowlist map[string]bool
+
 	mu        sync.RWMutex
 	workflows map[string]*dag.Workflow
+
+	// verified caches the admission verdict per *asvm.Program: the same
+	// bytecode is proven once per visor, not once per invocation.
+	verified    sync.Map // *asvm.Program -> error (nil sentinel: verified OK)
+	scanRejects atomic.Int64
 }
 
 // New returns a visor with the given function registry.
@@ -373,6 +389,55 @@ func (v *Visor) Workflows() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// ScanRejects reports how many invocations the admission scan has
+// rejected since the visor started (the watchdog exports it as
+// alloystack_scan_rejects_total).
+func (v *Visor) ScanRejects() int64 { return v.scanRejects.Load() }
+
+// admitGuests statically verifies every guest image the workflow's
+// stages would execute, before any WFD boots — §6's
+// validate-before-execute: an image that could jump between
+// instructions, unbalance the shared value stack or call an
+// off-allowlist host import never reaches an engine. Native-tier
+// functions carry no image and pass trivially; unknown functions are
+// left for the stage loop to report with its own error.
+func (v *Visor) admitGuests(w *dag.Workflow, stages [][]dag.FuncSpec) error {
+	allow := v.ImportAllowlist
+	if allow == nil {
+		allow = scan.WASIAllowlist()
+	}
+	for _, stage := range stages {
+		for _, spec := range stage {
+			_, vm, err := v.Funcs.lookup(spec.Name, spec.Language)
+			if err != nil || vm == nil {
+				continue
+			}
+			if verr := v.verifyProgram(vm.Prog, allow); verr != nil {
+				v.scanRejects.Add(1)
+				return fmt.Errorf("%w: workflow %q function %q: %v",
+					ErrRejected, w.Name, spec.Name, verr)
+			}
+		}
+	}
+	return nil
+}
+
+func (v *Visor) verifyProgram(prog *asvm.Program, allow map[string]bool) error {
+	if cached, ok := v.verified.Load(prog); ok {
+		if cached == nil {
+			return nil
+		}
+		return cached.(error)
+	}
+	_, err := scan.Verify(prog, allow)
+	if err != nil {
+		v.verified.Store(prog, err)
+		return err
+	}
+	v.verified.Store(prog, nil)
+	return nil
 }
 
 // Invoke runs a registered workflow by name.
@@ -423,6 +488,9 @@ func (v *Visor) RunWorkflow(w *dag.Workflow, opts RunOptions) (*RunResult, error
 func (v *Visor) runWorkflow(w *dag.Workflow, opts RunOptions) (*RunResult, error) {
 	stages, err := w.Stages()
 	if err != nil {
+		return nil, err
+	}
+	if err := v.admitGuests(w, stages); err != nil {
 		return nil, err
 	}
 

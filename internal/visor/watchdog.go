@@ -250,6 +250,10 @@ func (wd *Watchdog) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case errors.Is(err, ErrUnknownWorkflow) || errors.Is(err, ErrUnknownFunction):
 			status = http.StatusNotFound
+		case errors.Is(err, ErrRejected):
+			// A statically rejected guest image is the caller's fault
+			// and will never succeed on retry.
+			status = http.StatusForbidden
 		case errors.Is(err, context.DeadlineExceeded):
 			status = http.StatusGatewayTimeout
 		default:
@@ -299,6 +303,9 @@ func (wd *Watchdog) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	pw.Header("alloystack_watchdog_shed_total", "counter",
 		"Invocations rejected by admission control (429).")
 	pw.Value("alloystack_watchdog_shed_total", float64(wd.shed.Load()))
+	pw.Header("alloystack_scan_rejects_total", "counter",
+		"Invocations rejected by the static guest-image scan (403).")
+	pw.Value("alloystack_scan_rejects_total", float64(wd.visor.ScanRejects()))
 	if wd.Sched != nil {
 		st := wd.Sched.Stats()
 		pw.Header("alloystack_sched_backlog", "gauge",

@@ -217,7 +217,6 @@ end
 // and scatter n align-multiple chunks to out edges 0..n-1.
 const splitGuestSrc = guestPrelude + `
 func run 4 10 1
-  push 0
   hostcall fs_mount
   drop
   local.get 1

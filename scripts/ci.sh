@@ -1,26 +1,18 @@
 #!/bin/sh
-# CI entry point: formatting gate, build, vet, the full test suite, then
-# the fault-tolerance, data-plane and observability packages again under
-# the race detector. The chaos soak test only runs in the final (non
-# -short) race pass, so a quick local loop is `go test -short ./...`.
-# The traced demo run doubles as an end-to-end smoke test and leaves
-# trace.json behind for CI to upload as an artifact.
+# CI entry point: formatting gate, build, vet (stock + the repo's own
+# asvet analyzers), the full test suite, then every internal package
+# again under the race detector. The chaos soak test only runs in the
+# final (non -short) race pass, so a quick local loop is
+# `go test -short ./...`. The traced demo run doubles as an end-to-end
+# smoke test and leaves trace.json behind for CI to upload as an
+# artifact.
 set -eux
 
 test -z "$(gofmt -l .)"
 go build ./...
 go vet ./...
+go run ./cmd/asvet ./...
 go test -short ./...
-go test -race -count=1 \
-	./internal/faults \
-	./internal/visor \
-	./internal/gateway \
-	./internal/kvstore \
-	./internal/metrics \
-	./internal/trace \
-	./internal/xfer \
-	./internal/pool \
-	./internal/sched \
-	./internal/integration
+go test -race -count=1 ./internal/...
 go run ./examples/tracedemo -o trace.json
 go run ./cmd/asbench -exp coldstart -scale 0.01 | tee coldstart.txt
