@@ -42,11 +42,13 @@ var experiments = map[string]struct {
 	"engines":   {bench.Engines, "guest engine ablation (Wasmtime vs WAVM model)"},
 	"recovery":  {bench.Recovery, "fault recovery latency (injected panic + retry)"},
 	"coldstart": {bench.Coldstart, "cold boot vs warm-pool snapshot fork (p50/p99)"},
+	"crashresume": {bench.CrashResume,
+		"durable-run journal: crash-resume vs cold re-run, journal overhead"},
 }
 
 // order runs the cheap experiments first under -exp all.
 var order = []string{
-	"table1", "fig2", "fig10", "engines", "recovery", "coldstart", "table4", "fig3",
+	"table1", "fig2", "fig10", "engines", "recovery", "coldstart", "crashresume", "table4", "fig3",
 	"fig11", "fig14", "fig16", "fig15", "fig12", "fig13", "fig17a", "fig17b",
 }
 
@@ -56,6 +58,7 @@ func main() {
 	scale := flag.Float64("scale", 1.0/16, "data-size scale relative to the paper")
 	costScale := flag.Float64("cost-scale", 1.0, "injected platform-cost scale (1.0 = calibrated)")
 	iters := flag.Int("iters", 1, "iterations per configuration (median reported)")
+	artifacts := flag.String("artifacts", "", "directory to keep experiment byproducts (journals) for CI upload")
 	flag.Parse()
 
 	if *list || *exp == "" {
@@ -80,6 +83,7 @@ func main() {
 		Iterations: *iters,
 		Out:        os.Stdout,
 	}
+	opts.ArtifactsDir = *artifacts
 
 	run := func(name string) error {
 		e, ok := experiments[name]

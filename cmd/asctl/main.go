@@ -24,6 +24,7 @@ import (
 	"alloystack/internal/asvm"
 	"alloystack/internal/dag"
 	"alloystack/internal/faults"
+	"alloystack/internal/journal"
 	"alloystack/internal/pool"
 	"alloystack/internal/scan"
 	"alloystack/internal/visor"
@@ -47,6 +48,10 @@ func main() {
 		cmdTrace(os.Args[2:])
 	case "pools":
 		cmdPools(os.Args[2:])
+	case "runs":
+		cmdRuns(os.Args[2:])
+	case "resume":
+		cmdResume(os.Args[2:])
 	default:
 		usage()
 	}
@@ -59,7 +64,9 @@ func usage() {
   asctl scan <workflow.json>       statically verify the workflow's guest images
   asctl invoke [-node host:port] [-timeout 30s] [-retries 0] <workflow>   invoke on a running asvisor
   asctl trace [-node host:port] [-o trace.json] <workflow>   invoke with tracing; write Chrome/Perfetto trace
-  asctl pools [-node host:port]   show the node's warm-instance pools`)
+  asctl pools [-node host:port]   show the node's warm-instance pools
+  asctl runs [-node host:port]    list journaled runs and their committed progress
+  asctl resume [-node host:port] <run-id>   resume an unsealed run from its journal`)
 	os.Exit(2)
 }
 
@@ -328,6 +335,91 @@ func cmdPools(args []string) {
 		fmt.Printf("%-20s %6d %6d %5d/%-3d %6d %6d %6d %6d %12.0fms\n",
 			s.Workflow, s.Warm, s.Target, s.Min, s.Max,
 			s.Hits, s.Misses, s.Forks, s.Evictions, s.TemplateBoot)
+	}
+}
+
+// cmdRuns queries /runs and prints one row per journaled run: the
+// committed-stage prefix a resume would skip, spilled barrier payloads,
+// compensations executed, and whether the journal is sealed (a sealed
+// run is finished — resume refuses it).
+func cmdRuns(args []string) {
+	fs := flag.NewFlagSet("runs", flag.ExitOnError)
+	node := fs.String("node", "127.0.0.1:8080", "asvisor address")
+	fs.Parse(args)
+	resp, err := http.Get(fmt.Sprintf("http://%s/runs", *node))
+	if err != nil {
+		fatal("runs: %v", err)
+	}
+	defer resp.Body.Close()
+	var runs []journal.Summary
+	if err := json.NewDecoder(resp.Body).Decode(&runs); err != nil {
+		fatal("runs: decode: %v", err)
+	}
+	if len(runs) == 0 {
+		fmt.Println("no journaled runs (start asvisor with -journal)")
+		return
+	}
+	fmt.Printf("%-24s %-20s %9s %7s %5s %7s %7s %-12s\n",
+		"RUN", "WORKFLOW", "COMMITTED", "SPILLED", "COMPS", "RESUMES", "BYTES", "STATE")
+	for _, s := range runs {
+		state := "resumable"
+		switch {
+		case s.Sealed && s.Verdict != "":
+			state = "sealed:" + s.Verdict
+		case s.Sealed:
+			state = "sealed"
+		case s.Failed:
+			state = "failed"
+		}
+		fmt.Printf("%-24s %-20s %6d/%-2d %7d %5d %7d %7d %-12s\n",
+			s.ID, s.Workflow, s.Committed, s.Stages,
+			s.Spilled, s.Comps, s.Resumes, s.Bytes, state)
+	}
+}
+
+// cmdResume asks the node to resume one unsealed run from its journal.
+// The node replays the journal, re-admits the run through the scheduler
+// and continues from the last committed barrier; committed stages are
+// skipped and their spilled outputs re-imported.
+func cmdResume(args []string) {
+	fs := flag.NewFlagSet("resume", flag.ExitOnError)
+	node := fs.String("node", "127.0.0.1:8080", "asvisor address")
+	timeout := fs.Duration("timeout", 0, "overall resume timeout (0 = none)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	id := fs.Arg(0)
+	url := fmt.Sprintf("http://%s/runs/%s/resume", *node, id)
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, nil)
+	if err != nil {
+		fatal("resume: %v", err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		fatal("resume: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	var r visor.InvokeResponse
+	if err := json.Unmarshal(body, &r); err != nil {
+		// Non-JSON error body (404, 409, ...): print it verbatim.
+		fatal("resume: %s (%s)", strings.TrimSpace(string(body)), resp.Status)
+	}
+	if r.Error != "" {
+		fatal("resume %s: %s", id, r.Error)
+	}
+	fmt.Printf("run %s (%s): resumed, %d stage(s) skipped, e2e %.2fms verdict %q\n",
+		id, r.Workflow, r.StagesSkipped, r.E2EMillis, r.Verdict)
+	if resp.StatusCode != http.StatusOK {
+		os.Exit(1)
 	}
 }
 

@@ -29,6 +29,7 @@ import (
 
 	"alloystack/internal/dag"
 	"alloystack/internal/faults"
+	"alloystack/internal/journal"
 	"alloystack/internal/pool"
 	"alloystack/internal/sched"
 	"alloystack/internal/visor"
@@ -47,6 +48,7 @@ func main() {
 	deadline := flag.Duration("deadline", 0, "whole-invocation deadline (0 = none)")
 	maxInflight := flag.Int64("max-inflight", 0, "cap on concurrently executing invocations; excess is shed with 429 (0 = unlimited)")
 	maxQueue := flag.Int("max-queue", 0, "admission queue depth; >0 upgrades -max-inflight to fair queueing instead of immediate shed")
+	journalDir := flag.String("journal", "", "directory for durable-run journals; enables crash-resume (asctl runs / resume)")
 	warmPools := flag.Bool("warm-pools", false, "pre-boot warm snapshot/fork pools for Python-runtime workflows")
 	poolMin := flag.Int("pool-min", 1, "minimum warm instances per pool")
 	poolMax := flag.Int("pool-max", 4, "maximum warm instances per pool")
@@ -111,9 +113,28 @@ func main() {
 	}
 
 	wd := visor.NewWatchdog(v)
+
+	// Durable runs: every invocation write-ahead-journals its stage
+	// barriers, so a crashed node can resume committed work with
+	// `asctl resume` instead of re-running the workflow from scratch.
+	var store *journal.Store
+	if *journalDir != "" {
+		var err error
+		store, err = journal.Open(*journalDir, journal.Options{})
+		if err != nil {
+			fatal("open journal %s: %v", *journalDir, err)
+		}
+		wd.Journal = store
+		fmt.Printf("durable runs journaled in %s\n", *journalDir)
+	}
+
 	wd.OptionsFor = func(name string) visor.RunOptions {
 		ro := visor.DefaultRunOptions()
 		ro.CostScale = *costScale
+		if store != nil {
+			ro.Durable = true
+			ro.Journal = store
+		}
 		ro.Stdout = os.Stdout
 		ro.Faults = plan
 		ro.Retry = retry

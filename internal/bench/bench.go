@@ -38,6 +38,10 @@ type Options struct {
 	Iterations int
 	// Out receives the rendered report (default io.Discard).
 	Out io.Writer
+	// ArtifactsDir, when set, keeps on-disk experiment byproducts
+	// (e.g. the crashresume journal) there instead of a temp dir, so
+	// CI can upload them.
+	ArtifactsDir string
 }
 
 func (o Options) withDefaults() Options {

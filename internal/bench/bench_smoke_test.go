@@ -166,6 +166,17 @@ func TestEnginesSmoke(t *testing.T) {
 	}
 }
 
+func TestCrashResumeSmoke(t *testing.T) {
+	rep := runExp(t, "crashresume", CrashResume)
+	if len(rep.Rows) != 3 {
+		t.Fatalf("crashresume rows = %d", len(rep.Rows))
+	}
+	// The resume arm must actually skip the committed prefix.
+	if got := rep.Rows[2][3]; !strings.Contains(got, "skipped") || strings.Contains(got, "(0 skipped)") {
+		t.Fatalf("resume arm skipped nothing: %q", got)
+	}
+}
+
 func TestReportRendering(t *testing.T) {
 	r := &Report{
 		ID:     "x",

@@ -22,6 +22,9 @@ var (
 	ErrUnknownDep  = errors.New("dag: dependency on unknown function")
 	ErrCycle       = errors.New("dag: workflow graph has a cycle")
 	ErrBadConfig   = errors.New("dag: invalid configuration")
+	// ErrUnknownComp flags a compensate reference that names no declared
+	// compensation handler.
+	ErrUnknownComp = errors.New("dag: compensate references unknown handler")
 )
 
 // FuncSpec declares one function node of the workflow.
@@ -38,12 +41,22 @@ type FuncSpec struct {
 	Language string `json:"language,omitempty"`
 	// Params are free-form key/value arguments to the function logic.
 	Params map[string]string `json:"params,omitempty"`
+	// Compensate names the compensation handler (declared in
+	// Workflow.Compensations) that undoes this function's committed
+	// effects when a later stage fails terminally and the run unwinds
+	// as a saga. Empty means nothing to undo.
+	Compensate string `json:"compensate,omitempty"`
 }
 
 // Workflow is a validated DAG of functions.
 type Workflow struct {
 	Name      string     `json:"name"`
 	Functions []FuncSpec `json:"functions"`
+	// Compensations declares the saga handlers Functions may reference
+	// via Compensate. Handlers are not DAG nodes: they have no
+	// dependencies, never run in the forward pass, and execute in
+	// reverse commit order only when a durable run fails.
+	Compensations []FuncSpec `json:"compensations,omitempty"`
 }
 
 // Parse decodes and validates a JSON workflow configuration.
@@ -81,17 +94,54 @@ func (w *Workflow) Validate() error {
 			return fmt.Errorf("%w: %s: unknown language %q", ErrBadConfig, f.Name, f.Language)
 		}
 	}
+	comps := make(map[string]bool, len(w.Compensations))
+	for _, c := range w.Compensations {
+		if c.Name == "" {
+			return fmt.Errorf("%w: compensation with empty name", ErrBadConfig)
+		}
+		if comps[c.Name] {
+			return fmt.Errorf("%w: compensation %s", ErrDupFunction, c.Name)
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("%w: compensation %s collides with a function", ErrDupFunction, c.Name)
+		}
+		comps[c.Name] = true
+		if len(c.DependsOn) > 0 {
+			return fmt.Errorf("%w: compensation %s: handlers take no dependencies", ErrBadConfig, c.Name)
+		}
+		if c.Compensate != "" {
+			return fmt.Errorf("%w: compensation %s: handlers cannot themselves compensate", ErrBadConfig, c.Name)
+		}
+		switch c.Language {
+		case "", "native", "c", "python":
+		default:
+			return fmt.Errorf("%w: compensation %s: unknown language %q", ErrBadConfig, c.Name, c.Language)
+		}
+	}
 	for _, f := range w.Functions {
 		for _, d := range f.DependsOn {
 			if !seen[d] {
 				return fmt.Errorf("%w: %s depends on %s", ErrUnknownDep, f.Name, d)
 			}
 		}
+		if f.Compensate != "" && !comps[f.Compensate] {
+			return fmt.Errorf("%w: %s compensates with %s", ErrUnknownComp, f.Name, f.Compensate)
+		}
 	}
 	if _, err := w.Stages(); err != nil {
 		return err
 	}
 	return nil
+}
+
+// CompensationSpec looks up a declared compensation handler by name.
+func (w *Workflow) CompensationSpec(name string) (FuncSpec, bool) {
+	for _, c := range w.Compensations {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return FuncSpec{}, false
 }
 
 // Stages returns the topological levels of the DAG: stage i contains

@@ -1,0 +1,47 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCrashAtFiresOncePerPoint(t *testing.T) {
+	p := NewPlan(1, Crash{Point: "after-stage:2"}, Crash{Point: "after-commit:0"})
+	if !p.CrashAt("after-stage:2") {
+		t.Fatal("armed crashpoint did not fire")
+	}
+	if p.CrashAt("after-stage:2") {
+		t.Fatal("crashpoint fired twice")
+	}
+	if p.CrashAt("before-stage:1") {
+		t.Fatal("unarmed crashpoint fired")
+	}
+	if !p.CrashAt("after-commit:0") {
+		t.Fatal("second armed crashpoint did not fire")
+	}
+	var nilPlan *Plan
+	if nilPlan.CrashAt("after-stage:2") {
+		t.Fatal("nil plan fired")
+	}
+	fp := p.Fingerprint()
+	if !strings.Contains(fp, "crash(after-stage:2") {
+		t.Fatalf("crash event missing from fingerprint: %q", fp)
+	}
+}
+
+func TestCrashSpecRoundTrip(t *testing.T) {
+	p, err := ParseSpec("crash=after-stage:2,panic=wc-map:2", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.CrashAt("after-stage:2") {
+		t.Fatal("parsed crash rule did not arm the point")
+	}
+	s := p.String()
+	if !strings.Contains(s, "crash=after-stage:2") {
+		t.Fatalf("String() lost the crash rule: %q", s)
+	}
+	if _, err := ParseSpec("crash=", 1); err == nil {
+		t.Fatal("empty crash point accepted")
+	}
+}

@@ -88,6 +88,19 @@ type NetPartition struct {
 
 func (r NetPartition) ruleString() string { return fmt.Sprintf("partition=%s:%s", r.A, r.B) }
 
+// Crash kills the visor process (or aborts the run, when no kill hook
+// is installed) at a named durability crashpoint — the kill-the-visor
+// drill for journal resume. Points follow the visor's barrier naming:
+// "before-stage:N", "after-stage:N" (work done, barrier not committed),
+// "after-commit:N", "after-comp:K". Each point fires at most once per
+// plan, so a resumed run passing the same plan would re-crash — resumes
+// use a fresh plan.
+type Crash struct {
+	Point string
+}
+
+func (r Crash) ruleString() string { return fmt.Sprintf("crash=%s", r.Point) }
+
 // Event is one recorded fault injection.
 type Event struct {
 	Kind     string // "panic", "delay", "kv-drop", "backend-down"
@@ -112,10 +125,12 @@ type Plan struct {
 	backends map[string]int // addr -> first-K requests fail
 	loss     float64
 	cuts     [][2]netstack.Addr
+	crashes  map[string]bool // crashpoint -> armed
 
 	mu         sync.Mutex
 	events     []Event
-	backendSeq map[string]int // per-addr request counter
+	backendSeq map[string]int  // per-addr request counter
+	crashed    map[string]bool // crashpoint -> already fired
 }
 
 // NewPlan builds a plan from rules. The seed drives replayable
@@ -127,6 +142,8 @@ func NewPlan(seed int64, rules ...Rule) *Plan {
 		delays:     make(map[string]time.Duration),
 		backends:   make(map[string]int),
 		backendSeq: make(map[string]int),
+		crashes:    make(map[string]bool),
+		crashed:    make(map[string]bool),
 	}
 	for _, r := range rules {
 		switch r := r.(type) {
@@ -152,6 +169,10 @@ func NewPlan(seed int64, rules ...Rule) *Plan {
 			}
 		case NetPartition:
 			p.cuts = append(p.cuts, [2]netstack.Addr{r.A, r.B})
+		case Crash:
+			if r.Point != "" {
+				p.crashes[r.Point] = true
+			}
 		}
 	}
 	return p
@@ -207,6 +228,27 @@ func (p *Plan) KVDrop(ops int) bool {
 		return false
 	}
 	p.note(Event{Kind: "kv-drop", Target: "client", Attempt: ops})
+	return true
+}
+
+// CrashAt reports whether the plan schedules a crash at the named
+// durability point. Each point fires once per plan: the decision is a
+// pure function of the point name, so seeded replays crash at the same
+// barrier every time.
+func (p *Plan) CrashAt(point string) bool {
+	if p == nil || !p.crashes[point] {
+		return false
+	}
+	p.mu.Lock()
+	fired := p.crashed[point]
+	if !fired {
+		p.crashed[point] = true
+	}
+	p.mu.Unlock()
+	if fired {
+		return false
+	}
+	p.note(Event{Kind: "crash", Target: point})
 	return true
 }
 
@@ -297,6 +339,9 @@ func (p *Plan) String() string {
 	}
 	for _, cut := range p.cuts {
 		parts = append(parts, NetPartition{cut[0], cut[1]}.ruleString())
+	}
+	for point := range p.crashes {
+		parts = append(parts, Crash{point}.ruleString())
 	}
 	sort.Strings(parts)
 	return fmt.Sprintf("seed=%d %s", p.seed, strings.Join(parts, ","))

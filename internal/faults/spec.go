@@ -18,6 +18,8 @@ import (
 //	backend=HOST:PORT:K   first K gateway requests to the backend fail
 //	netloss=RATE          fraction of hub frames dropped (0..1), seeded
 //	partition=A:B         hub traffic between dotted-quad addrs A and B cut
+//	crash=POINT           kill the visor at a durability crashpoint
+//	                      (e.g. crash=after-stage:2); fires once per plan
 //
 // Rules are comma-separated: "panic=wc-map:2,kvdrop=10,netloss=0.01".
 // An empty spec yields an inject-nothing plan.
@@ -75,6 +77,11 @@ func ParseSpec(spec string, seed int64) (*Plan, error) {
 				return nil, fmt.Errorf("faults: netloss rule %q: want rate in (0,1)", arg)
 			}
 			rules = append(rules, NetLoss{Rate: rate})
+		case "crash":
+			if arg == "" {
+				return nil, fmt.Errorf("faults: crash rule: want crash=POINT")
+			}
+			rules = append(rules, Crash{Point: arg})
 		case "partition":
 			as, bs, ok := strings.Cut(arg, ":")
 			if !ok {

@@ -105,6 +105,10 @@ func TestWallClockFixtures(t *testing.T) {
 	runFixture(t, "alloystack__internal__pool", WallClock)
 }
 
+func TestWallClockJournalFixtures(t *testing.T) {
+	runFixture(t, "alloystack__internal__journal", WallClock)
+}
+
 func TestWallClockOutOfScopePackageExempt(t *testing.T) {
 	// senterr_user calls time.Now freely; wallclock only scopes the
 	// determinism-critical packages, so it must stay silent here. The

@@ -1,0 +1,35 @@
+// Package journal (fixture): the directory name claims the
+// determinism-critical import path alloystack/internal/journal. A
+// journal written twice from the same run must be byte-identical, so
+// record timestamps flow from the injected Options.Clock — any bare
+// read of the wall clock re-couples replay to real time.
+package journal
+
+import "time"
+
+type options struct {
+	Clock func() time.Time
+}
+
+type record struct {
+	At time.Time
+}
+
+func badStampRecord(o *options) record {
+	// Stamping a record directly breaks byte-identical replay.
+	return record{At: time.Now()} // want "wall-clock read time.Now in determinism-critical package"
+}
+
+func badAgeCheck(r record) time.Duration {
+	return time.Since(r.At) // want "wall-clock read time.Since in determinism-critical package"
+}
+
+func goodWaivedDefault(o *options) {
+	if o.Clock == nil {
+		o.Clock = time.Now //asvet:allow wallclock -- the approved injection point
+	}
+}
+
+func goodInjectedStamp(o *options) record {
+	return record{At: o.Clock()} // the mechanism: stamps come from the injected clock
+}

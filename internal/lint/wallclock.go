@@ -27,8 +27,11 @@ var WallClock = &Analyzer{
 // prefix the check applies to ("" = every file in the package).
 var wallclockScope = map[string]string{
 	"alloystack/internal/faults": "",
-	"alloystack/internal/pool":   "",
-	"alloystack/internal/sched":  "",
+	// The journal must replay byte-identically: record timestamps come
+	// from the injected Options.Clock, never a direct wall-clock read.
+	"alloystack/internal/journal": "",
+	"alloystack/internal/pool":    "",
+	"alloystack/internal/sched":   "",
 	// The tracer legitimately timestamps spans; only its structural
 	// fingerprint (the chaos-determinism witness) must stay clock-free.
 	"alloystack/internal/trace": "fingerprint",

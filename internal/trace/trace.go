@@ -47,6 +47,8 @@ const (
 	CatQueue   = "queue"   // admission queue wait before the run starts
 	CatBoot    = "boot"    // WFD boot: boot(cold) instantiate or boot(warm) pool fork
 	CatPool    = "pool"    // warm-pool lifecycle: template boot, refill, evict
+	CatJournal = "journal" // durability: barrier spill/commit, resume import
+	CatComp    = "comp"    // saga compensation handler execution
 )
 
 // SpanData is one completed span: the exported, plain-value form.

@@ -1,0 +1,430 @@
+package visor
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+
+	"alloystack/internal/asstd"
+	"alloystack/internal/core"
+	"alloystack/internal/dag"
+	"alloystack/internal/journal"
+	"alloystack/internal/libos"
+	"alloystack/internal/trace"
+	"alloystack/internal/xfer"
+)
+
+// This file implements durable workflow runs: the visor-side glue around
+// internal/journal. A durable run writes a write-ahead journal record at
+// every stage barrier and spills the intermediate data crossing the
+// barrier, so a crashed visor can resume the run from its last committed
+// stage instead of re-executing the whole DAG. A terminal stage failure
+// (as opposed to a crash) unwinds the committed prefix as a saga: each
+// committed function's declared compensation handler runs in reverse
+// commit order, exactly once across resumes, before the journal is
+// sealed with a terminal verdict.
+//
+// Crash vs failure: a crashpoint (faults.Crash) kills the process — or,
+// with no CrashFn installed, aborts the run with ErrCrashPoint — leaving
+// the journal unsealed with no run-failed record, so a resume continues
+// forward. A function that fails terminally appends run-failed first;
+// the resume of such a run goes straight to the saga unwind.
+
+// ErrCrashPoint is the soft-crash error: a faults.Crash point fired but
+// no RunOptions.CrashFn was installed to kill the process, so the run
+// aborts in-process with its journal left unsealed (resumable), exactly
+// as a real crash would leave it.
+var ErrCrashPoint = errors.New("visor: durability crashpoint reached")
+
+// durableRun carries one invocation's journal handle and recovery state.
+type durableRun struct {
+	store *journal.Store
+	jr    *journal.Run
+	spill journal.SpillStore
+	// st is the replayed journal state when resuming, nil for a fresh
+	// run. resumeFrom is the first stage the forward pass must execute;
+	// committed counts the stages durable so far (grows at barriers).
+	st         *journal.State
+	resumeFrom int
+
+	// async enables the pipelined barrier: the spill write and commit
+	// record of stage N overlap stage N+1's compute, hiding the
+	// checkpoint IO behind useful work. It is off whenever a fault plan
+	// is armed, so seeded crashpoints keep their deterministic position
+	// in the record stream. committed and asyncErr are guarded by mu;
+	// wg tracks in-flight barrier commits (settle drains them).
+	async     bool
+	wg        sync.WaitGroup
+	mu        sync.Mutex
+	committed int
+	asyncErr  error
+}
+
+// settle waits for every in-flight barrier commit and surfaces the
+// first error. Every terminal path — seal, failure unwind — must pass
+// through here before reading committed state.
+func (d *durableRun) settle() error {
+	d.wg.Wait()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.asyncErr
+}
+
+// committedPrefix reads the stages durable so far.
+func (d *durableRun) committedPrefix() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.committed
+}
+
+// openDurable opens the run's journal: a resume replays and re-opens an
+// existing one, anything else begins a fresh journal carrying the
+// workflow spec.
+func openDurable(w *dag.Workflow, opts RunOptions) (*durableRun, error) {
+	s := opts.Journal
+	if opts.Resume != "" {
+		jr, st, err := s.Resume(opts.Resume)
+		if err != nil {
+			return nil, err
+		}
+		if st.Workflow != w.Name {
+			jr.Close()
+			return nil, fmt.Errorf("visor: resume %s: journal is for workflow %q, not %q",
+				opts.Resume, st.Workflow, w.Name)
+		}
+		k := st.CommittedPrefix()
+		return &durableRun{store: s, jr: jr, spill: s.Spill(jr.ID()),
+			st: st, resumeFrom: k, committed: k, async: opts.Faults == nil}, nil
+	}
+	jr, err := s.Begin(opts.RunID, w)
+	if err != nil {
+		return nil, err
+	}
+	return &durableRun{store: s, jr: jr, spill: s.Spill(jr.ID()),
+		async: opts.Faults == nil}, nil
+}
+
+// crash consults the fault plan for the named crashpoint. When it fires,
+// the flight recorder is dumped next to the journal (pre-crash spans
+// must survive the process), the journal handle is closed *unsealed* —
+// a crash is not a failure — and either CrashFn kills the process or
+// the run aborts with ErrCrashPoint.
+func (d *durableRun) crash(opts RunOptions, point string) error {
+	if !opts.Faults.CrashAt(point) {
+		return nil
+	}
+	d.flightDump(opts.Trace, "crashpoint "+point)
+	d.jr.Close()
+	if opts.CrashFn != nil {
+		opts.CrashFn(point)
+	}
+	return fmt.Errorf("%w: %s", ErrCrashPoint, point)
+}
+
+// flightDump appends the tracer's flight recorder to the run's
+// <id>.flight.log beside the journal. Barrier commits, resume starts,
+// crashpoints and seals all dump here, so the spans leading up to a
+// crash are on disk before the process dies.
+func (d *durableRun) flightDump(tr *trace.Tracer, reason string) {
+	if tr == nil || tr.Recorder() == nil {
+		return
+	}
+	f, err := os.OpenFile(d.store.FlightPath(d.jr.ID()),
+		os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return
+	}
+	tr.FlightDump(f, reason)
+	f.Close()
+}
+
+// barrier makes stage si durable: snapshot every AsBuffer slot the stage
+// produced for a later consumer (plus the run's export slots at the
+// final stage), persist each through the spill store, journal a
+// slot-spilled record per payload, then commit the stage. The snapshot
+// is always synchronous (it must copy the slots before the next stage
+// consumes them); in async mode the persistence half runs in the
+// background, overlapped with the next stage's compute — a crash before
+// it lands simply re-executes the uncommitted stage on resume.
+func (d *durableRun) barrier(wfd wfdRunner, root *trace.Span,
+	stages [][]dag.FuncSpec, exports []string, si int) error {
+	want := barrierSlots(stages, si)
+	if si == len(stages)-1 {
+		want = append(want, exports...)
+	}
+	sp := root.Child(fmt.Sprintf("journal-barrier-%d", si), trace.CatJournal)
+	var data map[string][]byte
+	if len(want) > 0 {
+		var err error
+		if data, err = snapshotSlots(wfd, want); err != nil {
+			sp.End()
+			return err
+		}
+		sp.SetAttr("slots", len(data))
+	}
+	commit := func() error {
+		defer sp.End()
+		names := make([]string, 0, len(data))
+		for slot := range data {
+			names = append(names, slot)
+		}
+		sort.Strings(names)
+		for _, slot := range names {
+			payload := data[slot]
+			sum := crc32.ChecksumIEEE(payload)
+			if err := d.spill.Put(slot, payload); err != nil {
+				return err
+			}
+			if err := d.jr.SlotSpilled(si, slot, int64(len(payload)), sum); err != nil {
+				return err
+			}
+		}
+		if len(names) > 0 {
+			// One fsync for the whole barrier's payloads, before the
+			// commit record that makes them reachable.
+			if err := d.spill.Sync(); err != nil {
+				return err
+			}
+		}
+		if err := d.jr.StageCommitted(si); err != nil {
+			return err
+		}
+		d.mu.Lock()
+		if si+1 > d.committed {
+			d.committed = si + 1
+		}
+		d.mu.Unlock()
+		return nil
+	}
+	if !d.async {
+		return commit()
+	}
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		if err := commit(); err != nil {
+			d.mu.Lock()
+			if d.asyncErr == nil {
+				d.asyncErr = fmt.Errorf("visor: journal barrier %d: %w", si, err)
+			}
+			d.mu.Unlock()
+		}
+	}()
+	return nil
+}
+
+// importCommitted re-registers the journaled spill payloads a resumed
+// run still needs: every spilled slot whose consumer stage is at or past
+// the resume point (slots consumed entirely inside the committed prefix
+// are dead weight). Each payload is verified against its journaled CRC.
+func (d *durableRun) importCommitted(wfd wfdRunner, root *trace.Span,
+	stages [][]dag.FuncSpec) error {
+	if len(d.st.Spilled) == 0 {
+		return nil
+	}
+	stageOf := make(map[string]int)
+	for si, stage := range stages {
+		for _, f := range stage {
+			stageOf[f.Name] = si
+		}
+	}
+	payloads := make(map[string][]byte)
+	for _, sp := range d.st.Spilled {
+		if consumerStage(sp.Slot, stageOf) < d.resumeFrom {
+			continue
+		}
+		data, err := d.spill.Get(sp.Slot, sp.Sum)
+		if err != nil {
+			return fmt.Errorf("visor: journal spill %q: %w", sp.Slot, err)
+		}
+		payloads[sp.Slot] = data
+	}
+	if len(payloads) == 0 {
+		return nil
+	}
+	span := root.Child("journal-import", trace.CatJournal)
+	span.SetAttr("slots", len(payloads))
+	defer span.End()
+	if err := importSlots(wfd, payloads); err != nil {
+		return fmt.Errorf("visor: journal import: %w", err)
+	}
+	return nil
+}
+
+// barrierSlots enumerates the candidate AsBuffer slots produced by stage
+// si for any later stage, using the Slot naming convention for every
+// (instance, instance) pair of each crossing edge — the same convention
+// CrossSlots uses at a multi-node cut. Pairs the workload never
+// populated are fine: the snapshot skips unregistered slots.
+func barrierSlots(stages [][]dag.FuncSpec, si int) []string {
+	stageOf := make(map[string]int)
+	instOf := make(map[string]int)
+	for k, stage := range stages {
+		for _, f := range stage {
+			stageOf[f.Name] = k
+			instOf[f.Name] = f.InstancesOf()
+		}
+	}
+	var slots []string
+	for k := si + 1; k < len(stages); k++ {
+		for _, f := range stages[k] {
+			for _, dep := range f.DependsOn {
+				if stageOf[dep] != si {
+					continue
+				}
+				for i := 0; i < instOf[dep]; i++ {
+					for j := 0; j < f.InstancesOf(); j++ {
+						slots = append(slots, Slot(dep, i, f.Name, j))
+					}
+				}
+			}
+		}
+	}
+	return slots
+}
+
+// consumerStage parses the consuming function out of a conventional
+// "from:i->to:j" slot name and maps it to its stage. Slots that do not
+// parse — or name a function outside the DAG, like export sinks — are
+// always worth importing, so they map to the far end.
+func consumerStage(slot string, stageOf map[string]int) int {
+	_, rest, ok := strings.Cut(slot, "->")
+	if !ok {
+		return math.MaxInt
+	}
+	name := rest
+	if i := strings.LastIndexByte(rest, ':'); i > 0 {
+		name = rest[:i]
+	}
+	if si, ok := stageOf[name]; ok {
+		return si
+	}
+	return math.MaxInt
+}
+
+// snapshotSlots copies the named slots' bytes out of the WFD without
+// consuming them: acquire (which deregisters), copy, re-register the
+// same buffer under the same slot. Downstream stages still find their
+// inputs exactly where the producer left them; the copy is what the
+// spill store persists. Slots never registered are skipped.
+func snapshotSlots(wfd wfdRunner, slots []string) (map[string][]byte, error) {
+	out := make(map[string][]byte)
+	err := wfd.Run("__journal-spill", func(env *asstd.Env) error {
+		for _, slot := range slots {
+			if _, dup := out[slot]; dup {
+				continue
+			}
+			b, err := asstd.FromSlot(env, slot)
+			if err != nil {
+				if errors.Is(err, libos.ErrSlotMissing) {
+					continue // candidate pair the workload never used
+				}
+				return err
+			}
+			data := make([]byte, len(b.Bytes()))
+			copy(data, b.Bytes())
+			if err := b.Forward(slot); err != nil {
+				return err
+			}
+			out[slot] = data
+		}
+		return nil
+	})
+	return out, err
+}
+
+// unwind runs the saga: every committed stage's compensation handlers
+// execute in reverse commit order, each under a journaled idempotency
+// key ("fn:i@stage-si") so a crash mid-unwind never re-runs a handler a
+// later resume sees as done. Returns the terminal verdict —
+// "compensated", or "comp-failed" when any handler failed — or a crash
+// error when an after-comp crashpoint fired.
+func (v *Visor) unwind(wfd *core.WFD, plane runPlane, w *dag.Workflow,
+	stages [][]dag.FuncSpec, d *durableRun, opts RunOptions,
+	res *RunResult, root *trace.Span) (string, error) {
+	verdict := "compensated"
+	compSeq := 0
+	for si := d.committedPrefix() - 1; si >= 0; si-- {
+		for _, spec := range stages[si] {
+			if spec.Compensate == "" {
+				continue
+			}
+			comp, ok := w.CompensationSpec(spec.Compensate)
+			if !ok {
+				continue // Validate rejects this before any run starts
+			}
+			native, vm, lerr := v.Funcs.lookup(comp.Name, comp.Language)
+			n := spec.InstancesOf()
+			for i := 0; i < n; i++ {
+				key := fmt.Sprintf("%s:%d@stage-%d", spec.Name, i, si)
+				if d.st != nil {
+					if done := d.st.CompDone[key]; done != "" {
+						if done == "failed" {
+							verdict = "comp-failed"
+						}
+						continue // exactly-once: journaled as done
+					}
+				}
+				if err := d.jr.CompStarted(key); err != nil {
+					return "", err
+				}
+				span := root.Child("comp:"+key, trace.CatComp)
+				var cerr error
+				if lerr != nil {
+					cerr = lerr
+				} else {
+					params := make(map[string]string, len(comp.Params)+2)
+					for k, val := range comp.Params {
+						params[k] = val
+					}
+					params["__for"] = spec.Name
+					fctx := FuncContext{
+						Workflow:  w.Name,
+						Function:  comp.Name,
+						Instance:  i,
+						Instances: n,
+						Stage:     si,
+						Params:    params,
+					}
+					kind := EdgeTransfer(params, opts)
+					cerr = wfd.Run(comp.Name, func(env *asstd.Env) error {
+						env.Clock = res.Clock
+						env.Span = span
+						tr, terr := plane.transport(kind, env)
+						if terr != nil {
+							return terr
+						}
+						env.SetTransport(xfer.WithTrace(tr, span))
+						if native != nil {
+							return native(env, fctx)
+						}
+						return runVM(env, fctx, *vm, opts.CostScale, wfd)
+					})
+				}
+				okc := cerr == nil
+				detail := ""
+				if cerr != nil {
+					detail = cerr.Error()
+					span.SetAttr("error", detail)
+					verdict = "comp-failed"
+				}
+				span.End()
+				if err := d.jr.CompDone(key, okc, detail); err != nil {
+					return "", err
+				}
+				d.store.CountComp(okc)
+				res.Compensations++
+				if err := d.crash(opts, fmt.Sprintf("after-comp:%d", compSeq)); err != nil {
+					return "", err
+				}
+				compSeq++
+			}
+		}
+	}
+	return verdict, nil
+}

@@ -23,6 +23,7 @@ import (
 	"alloystack/internal/core"
 	"alloystack/internal/dag"
 	"alloystack/internal/faults"
+	"alloystack/internal/journal"
 	"alloystack/internal/metrics"
 	"alloystack/internal/netstack"
 	"alloystack/internal/pool"
@@ -261,6 +262,28 @@ type RunOptions struct {
 	// echoed into the trace as a "queue" span and into RunResult.
 	QueueWait time.Duration
 
+	// Durable journals the run through internal/journal: a write-ahead
+	// record at every stage barrier, barrier-crossing slots spilled, and
+	// a terminal seal — so a crashed run can be resumed from its last
+	// committed stage. Requires Journal. Failed durable runs unwind
+	// committed stages' declared compensations (saga) before sealing.
+	Durable bool
+	// Journal is the store durable runs write to (and resumes read
+	// from). Ignored unless Durable is set or Resume is non-empty.
+	Journal *journal.Store
+	// RunID pins the durable run's identifier; empty allocates one.
+	RunID string
+	// Resume re-opens the named journaled run instead of starting
+	// fresh: committed stages are skipped (their spilled outputs are
+	// re-imported), and a run that had failed terminally goes straight
+	// to the saga unwind. Sealed runs refuse with journal.ErrSealed.
+	Resume string
+	// CrashFn is invoked when a faults.Crash point fires, after the
+	// journal is closed unsealed — the kill-the-process hook
+	// (integration tests install os.Exit). Nil aborts the run
+	// in-process with ErrCrashPoint instead.
+	CrashFn func(point string)
+
 	// ExportPeer, when set, ships ExportSlots through the net
 	// transport to the far side's xfer.Bridge instead of returning
 	// them in RunResult.Exports — the §9 multi-node cut over a real
@@ -315,6 +338,19 @@ type RunResult struct {
 	// TraceID echoes the tracer's (possibly adopted) trace identifier,
 	// "" when the run was not traced.
 	TraceID string
+	// RunID is the durable run's journal identifier ("" for
+	// non-durable runs).
+	RunID string
+	// Resumed reports the run was re-opened from an existing journal;
+	// StagesSkipped counts the committed stages the resume did not
+	// re-execute.
+	Resumed       bool
+	StagesSkipped int
+	// Compensations counts saga handlers executed by this invocation.
+	Compensations int
+	// Verdict is the journal's terminal verdict for durable runs:
+	// "ok", "compensated" or "comp-failed".
+	Verdict string
 }
 
 // EdgeTransfer resolves which transport kind a function's edges use:
@@ -494,6 +530,19 @@ func (v *Visor) runWorkflow(w *dag.Workflow, opts RunOptions) (*RunResult, error
 		return nil, err
 	}
 
+	// Durability: open (or resume) the run's write-ahead journal before
+	// any work starts. The handle is closed on every exit path; Seal
+	// closes it too, so the deferred Close is a no-op after a seal.
+	var dj *durableRun
+	if (opts.Durable || opts.Resume != "") && opts.Journal != nil {
+		var err error
+		dj, err = openDurable(w, opts)
+		if err != nil {
+			return nil, err
+		}
+		defer dj.jr.Close()
+	}
+
 	ctx := opts.Ctx
 	if ctx == nil {
 		ctx = context.Background()
@@ -604,14 +653,60 @@ func (v *Visor) runWorkflow(w *dag.Workflow, opts RunOptions) (*RunResult, error
 		}
 	}
 
+	if dj != nil {
+		res.RunID = dj.jr.ID()
+		if dj.st != nil {
+			res.Resumed = true
+			dj.flightDump(opts.Trace,
+				fmt.Sprintf("run %s resumed from stage %d", res.RunID, dj.resumeFrom))
+			if dj.st.Failed {
+				// The crash interrupted the saga unwind, not the forward
+				// pass: finish compensating, seal, and report the
+				// original failure.
+				verdict, cerr := v.unwind(wfd, plane, w, stages, dj, opts, res, root)
+				if cerr != nil {
+					return res, cerr
+				}
+				if err := dj.jr.Seal(verdict); err != nil {
+					return nil, err
+				}
+				res.Verdict = verdict
+				dj.flightDump(opts.Trace, "sealed "+verdict)
+				res.E2E = time.Since(start)
+				res.TraceID = opts.Trace.TraceID()
+				return res, fmt.Errorf("visor: run %s had failed terminally: %s (saga verdict %s)",
+					res.RunID, dj.st.FailDetail, verdict)
+			}
+			if err := dj.importCommitted(wfd, root, stages); err != nil {
+				return nil, err
+			}
+		}
+	}
+
 	var retryMu sync.Mutex
 	// laneSeq gives every function instance of the run its own trace
 	// lane (Chrome tid), so parallel instances render as parallel rows.
 	laneSeq := int64(0)
 
 	for si, stage := range stages {
+		if dj != nil && si < dj.resumeFrom {
+			// Committed before the crash: the journal proves this stage's
+			// outputs are durable (and importCommitted restored them), so
+			// the resume never re-executes its producers.
+			res.StagesSkipped++
+			res.Stages = append(res.Stages, 0)
+			continue
+		}
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("visor: stage %d not started: %w", si, err)
+		}
+		if dj != nil {
+			if err := dj.crash(opts, fmt.Sprintf("before-stage:%d", si)); err != nil {
+				return res, err
+			}
+			if err := dj.jr.StageStarted(si); err != nil {
+				return nil, err
+			}
 		}
 		stageSpan := root.Child(fmt.Sprintf("stage-%d", si), trace.CatStage)
 		stageStart := time.Now()
@@ -709,9 +804,44 @@ func (v *Visor) runWorkflow(w *dag.Workflow, opts RunOptions) (*RunResult, error
 		}
 		stageSpan.End()
 		if ferr := pickStageError(errCh); ferr != nil {
-			return nil, fmt.Errorf("visor: stage %d: %w", si, ferr)
+			ferr = fmt.Errorf("visor: stage %d: %w", si, ferr)
+			if dj == nil {
+				return nil, ferr
+			}
+			// Terminal failure of a durable run: journal it, unwind the
+			// committed prefix as a saga, seal with the unwind's verdict.
+			// Any in-flight async barrier commits settle first, so the
+			// unwind sees the true committed prefix.
+			if serr := dj.settle(); serr != nil {
+				return nil, serr
+			}
+			if err := dj.jr.Failed(si, ferr.Error()); err != nil {
+				return nil, err
+			}
+			verdict, cerr := v.unwind(wfd, plane, w, stages, dj, opts, res, root)
+			if cerr != nil {
+				return res, cerr
+			}
+			if err := dj.jr.Seal(verdict); err != nil {
+				return nil, err
+			}
+			res.Verdict = verdict
+			dj.flightDump(opts.Trace, "sealed "+verdict)
+			return res, ferr
 		}
 		res.Stages = append(res.Stages, time.Since(stageStart))
+		if dj != nil {
+			if err := dj.crash(opts, fmt.Sprintf("after-stage:%d", si)); err != nil {
+				return res, err
+			}
+			if err := dj.barrier(wfd, root, stages, opts.ExportSlots, si); err != nil {
+				return nil, fmt.Errorf("visor: journal barrier %d: %w", si, err)
+			}
+			dj.flightDump(opts.Trace, fmt.Sprintf("stage %d barrier", si))
+			if err := dj.crash(opts, fmt.Sprintf("after-commit:%d", si)); err != nil {
+				return res, err
+			}
+		}
 	}
 
 	if len(opts.ExportSlots) > 0 {
@@ -735,6 +865,19 @@ func (v *Visor) runWorkflow(w *dag.Workflow, opts RunOptions) (*RunResult, error
 			}
 			res.Exports = exports
 		}
+	}
+
+	if dj != nil {
+		// Drain any in-flight async barrier commits before sealing: the
+		// ok-seal asserts every stage is durable.
+		if serr := dj.settle(); serr != nil {
+			return nil, serr
+		}
+		if err := dj.jr.Seal("ok"); err != nil {
+			return nil, err
+		}
+		res.Verdict = "ok"
+		dj.flightDump(opts.Trace, "sealed ok")
 	}
 
 	res.MemPeak = wfd.MemoryUsage()

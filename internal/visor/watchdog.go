@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"alloystack/internal/journal"
 	"alloystack/internal/metrics"
 	"alloystack/internal/pool"
 	"alloystack/internal/sched"
@@ -51,6 +52,14 @@ type Watchdog struct {
 	// request with ?warm=0.
 	Pools *pool.Manager
 
+	// Journal, when non-nil, enables durable runs: POST /invoke/X?durable=1
+	// journals the run, GET /runs lists journaled runs, and POST
+	// /runs/{id}/resume re-admits a crashed run through the scheduler and
+	// continues it from its last committed stage.
+	Journal *journal.Store
+
+	resumed atomic.Int64
+
 	srv       *http.Server
 	ln        net.Listener
 	inflight  atomic.Int64
@@ -86,6 +95,13 @@ type InvokeResponse struct {
 	TraceID  string          `json:"trace_id,omitempty"`
 	Trace    json.RawMessage `json:"trace,omitempty"`
 	Transfer string          `json:"transfer,omitempty"`
+	// RunID/Resumed/StagesSkipped/Compensations/Verdict describe durable
+	// runs (journaled invocations and resumes).
+	RunID         string `json:"run_id,omitempty"`
+	Resumed       bool   `json:"resumed,omitempty"`
+	StagesSkipped int    `json:"stages_skipped,omitempty"`
+	Compensations int    `json:"compensations,omitempty"`
+	Verdict       string `json:"verdict,omitempty"`
 }
 
 // errWatchdogBusy is the semaphore-mode shed error.
@@ -126,6 +142,8 @@ func (wd *Watchdog) Start(addr string) (string, error) {
 	mux.HandleFunc("/healthz", wd.handleHealth)
 	mux.HandleFunc("/workflows", wd.handleList)
 	mux.HandleFunc("/pools", wd.handlePools)
+	mux.HandleFunc("/runs", wd.handleRuns)
+	mux.HandleFunc("/runs/", wd.handleRunResume)
 	mux.HandleFunc("/metrics", wd.handleMetrics)
 	wd.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go wd.srv.Serve(ln)
@@ -215,6 +233,13 @@ func (wd *Watchdog) handleInvoke(w http.ResponseWriter, r *http.Request) {
 			opts.WarmStart = true
 		}
 	}
+	// ?durable=1 journals this run through the watchdog's store so a
+	// crash mid-run is resumable via POST /runs/{id}/resume. A durable
+	// configuration from OptionsFor wins.
+	if wd.Journal != nil && !opts.Durable && r.URL.Query().Get("durable") == "1" {
+		opts.Durable = true
+		opts.Journal = wd.Journal
+	}
 	// ?trace=1 turns on span collection for this invocation; the span
 	// tree comes back in the response as Chrome trace_event JSON. A
 	// tracer supplied by OptionsFor wins (the harness keeps ownership).
@@ -268,6 +293,13 @@ func (wd *Watchdog) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		resp.QueueWaitMs = float64(res.QueueWait) / float64(time.Millisecond)
 		resp.TraceID = res.TraceID
 		resp.Transfer = res.Transfer.String()
+	}
+	if res != nil {
+		resp.RunID = res.RunID
+		resp.Resumed = res.Resumed
+		resp.StagesSkipped = res.StagesSkipped
+		resp.Compensations = res.Compensations
+		resp.Verdict = res.Verdict
 	}
 	if tracer.Enabled() {
 		if data, terr := trace.ChromeJSON(tracer); terr == nil {
@@ -342,6 +374,22 @@ func (wd *Watchdog) handleMetrics(w http.ResponseWriter, r *http.Request) {
 				"workflow", ps.Workflow)
 		}
 	}
+	if wd.Journal != nil {
+		js := wd.Journal.Stats()
+		pw.Header("alloystack_journal_appends_total", "counter",
+			"Write-ahead journal records appended.")
+		pw.Value("alloystack_journal_appends_total", float64(js.Appends))
+		pw.Header("alloystack_journal_bytes", "counter",
+			"Bytes written to run journals (frames included).")
+		pw.Value("alloystack_journal_bytes", float64(js.Bytes))
+		pw.Header("alloystack_runs_resumed_total", "counter",
+			"Journaled runs re-opened for resume.")
+		pw.Value("alloystack_runs_resumed_total", float64(js.Resumes))
+		pw.Header("alloystack_compensations_total", "counter",
+			"Saga compensation handlers executed, by result.")
+		pw.Value("alloystack_compensations_total", float64(js.CompOK), "result", "ok")
+		pw.Value("alloystack_compensations_total", float64(js.CompFailed), "result", "failed")
+	}
 	pw.Summary("alloystack_watchdog_invoke_latency_seconds", wd.lat.Summarize())
 	pw.Transport("alloystack_watchdog_transport", wd.transfer)
 }
@@ -354,6 +402,126 @@ func (wd *Watchdog) handlePools(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	json.NewEncoder(w).Encode(wd.Pools.Stats())
+}
+
+// handleRuns lists the journaled runs as JSON (asctl runs).
+func (wd *Watchdog) handleRuns(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if wd.Journal == nil {
+		w.Write([]byte("[]\n"))
+		return
+	}
+	runs, err := wd.Journal.List()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if runs == nil {
+		runs = []journal.Summary{}
+	}
+	json.NewEncoder(w).Encode(runs)
+}
+
+// handleRunResume serves POST /runs/{id}/resume: replay the journal,
+// re-admit through the scheduler (a resume competes for capacity like
+// any fresh invocation), and continue the run from its last committed
+// stage. Sealed runs refuse with 409.
+func (wd *Watchdog) handleRunResume(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/runs/")
+	id, tail, ok := strings.Cut(rest, "/")
+	if !ok || tail != "resume" || id == "" {
+		http.Error(w, "want /runs/{id}/resume", http.StatusNotFound)
+		return
+	}
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if wd.Journal == nil {
+		http.Error(w, "no journal configured", http.StatusNotImplemented)
+		return
+	}
+	st, err := wd.Journal.Load(id)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, journal.ErrNotFound) {
+			status = http.StatusNotFound
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	if st.Sealed {
+		http.Error(w, fmt.Sprintf("run %s is sealed (verdict %q)", id, st.Verdict),
+			http.StatusConflict)
+		return
+	}
+	spec := st.Spec
+	if spec == nil {
+		// Journal predates spec records: fall back to the registry.
+		if spec, err = wd.visor.Workflow(st.Workflow); err != nil {
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+	}
+
+	opts := DefaultRunOptions()
+	if wd.OptionsFor != nil {
+		opts = wd.OptionsFor(st.Workflow)
+	}
+	if opts.Ctx == nil {
+		opts.Ctx = r.Context()
+	}
+	opts.Durable = true
+	opts.Journal = wd.Journal
+	opts.Resume = id
+
+	if wd.Sched != nil {
+		grant, err := wd.Sched.Admit(opts.Ctx, st.Workflow, opts.Deadline)
+		if err != nil {
+			wd.shed.Add(1)
+			wd.reject(w, st.Workflow, err, wd.Sched.RetryAfter())
+			return
+		}
+		defer grant.Release()
+		opts.QueueWait = grant.Wait
+	}
+
+	wd.inflight.Add(1)
+	invStart := time.Now()
+	res, err := wd.visor.RunWorkflow(spec, opts)
+	wd.lat.Record(time.Since(invStart))
+	wd.inflight.Add(-1)
+	wd.completed.Add(1)
+	wd.resumed.Add(1)
+
+	resp := InvokeResponse{Workflow: st.Workflow, RunID: id}
+	status := http.StatusOK
+	if err != nil {
+		wd.failures.Add(1)
+		resp.Error = err.Error()
+		switch {
+		case errors.Is(err, journal.ErrSealed):
+			status = http.StatusConflict
+		case errors.Is(err, context.DeadlineExceeded):
+			status = http.StatusGatewayTimeout
+		default:
+			status = http.StatusInternalServerError
+		}
+	} else {
+		resp.E2EMillis = float64(res.E2E) / float64(time.Millisecond)
+		resp.ColdStartMs = float64(res.ColdStart) / float64(time.Millisecond)
+		resp.MemPeak = res.MemPeak
+		resp.QueueWaitMs = float64(res.QueueWait) / float64(time.Millisecond)
+	}
+	if res != nil {
+		resp.Resumed = res.Resumed
+		resp.StagesSkipped = res.StagesSkipped
+		resp.Compensations = res.Compensations
+		resp.Verdict = res.Verdict
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(resp)
 }
 
 // Shed reports invocations rejected by admission control.

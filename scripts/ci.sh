@@ -16,3 +16,7 @@ go test -short ./...
 go test -race -count=1 ./internal/...
 go run ./examples/tracedemo -o trace.json
 go run ./cmd/asbench -exp coldstart -scale 0.01 | tee coldstart.txt
+# Durability: crash a run at a seeded point, resume it from the journal,
+# and keep the journals + spill segments + flight-recorder dumps as a CI
+# artifact so a failed run can be replayed offline.
+go run ./cmd/asbench -exp crashresume -artifacts journal-artifacts | tee crashresume.txt
