@@ -63,6 +63,15 @@ type durableRun struct {
 	mu        sync.Mutex
 	committed int
 	asyncErr  error
+	// commitGate serialises async barrier commits in stage order: each
+	// barrier's goroutine waits for the previous barrier's records to
+	// reach the journal before appending its own. Without the chain,
+	// stage N+1's stage-committed record could land before stage N's;
+	// a crash in that window would leave a non-prefix committed set,
+	// and the journaled-but-past-the-gap stage would re-execute on
+	// resume. Only the run loop writes this field (barrier is called
+	// from a single goroutine); spawned commits capture it by value.
+	commitGate chan struct{}
 }
 
 // settle waits for every in-flight barrier commit and surfaces the
@@ -204,9 +213,26 @@ func (d *durableRun) barrier(wfd wfdRunner, root *trace.Span,
 	if !d.async {
 		return commit()
 	}
+	prev := d.commitGate
+	next := make(chan struct{})
+	d.commitGate = next
 	d.wg.Add(1)
 	go func() {
 		defer d.wg.Done()
+		defer close(next)
+		if prev != nil {
+			<-prev
+		}
+		d.mu.Lock()
+		failed := d.asyncErr != nil
+		d.mu.Unlock()
+		if failed {
+			// An earlier barrier's records never reached the journal;
+			// appending this stage's commit after the gap would journal
+			// a non-prefix committed set. Drop it — settle surfaces the
+			// original error and the run fails before sealing.
+			return
+		}
 		if err := commit(); err != nil {
 			d.mu.Lock()
 			if d.asyncErr == nil {
@@ -235,6 +261,15 @@ func (d *durableRun) importCommitted(wfd wfdRunner, root *trace.Span,
 	}
 	payloads := make(map[string][]byte)
 	for _, sp := range d.st.Spilled {
+		if sp.Stage >= d.resumeFrom || !d.st.Committed[sp.Stage] {
+			// The producer stage is not in the committed prefix: a crash
+			// inside the barrier window can journal slot-spilled records
+			// (and even partial spill files) before the stage-committed
+			// record lands. The resume re-executes that producer, which
+			// re-registers its output slots — importing the orphaned
+			// spill would make the re-run fail on ErrSlotExists.
+			continue
+		}
 		if consumerStage(sp.Slot, stageOf) < d.resumeFrom {
 			continue
 		}
@@ -367,7 +402,12 @@ func (v *Visor) unwind(wfd *core.WFD, plane runPlane, w *dag.Workflow,
 						if done == "failed" {
 							verdict = "comp-failed"
 						}
-						continue // exactly-once: journaled as done
+						// Exactly-once: journaled as done. Still counts
+						// toward compSeq so "after-comp:K" crashpoints
+						// name the same physical compensation whether or
+						// not the unwind is a resumed one.
+						compSeq++
+						continue
 					}
 				}
 				if err := d.jr.CompStarted(key); err != nil {

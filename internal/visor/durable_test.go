@@ -3,10 +3,16 @@ package visor
 import (
 	"bytes"
 	"encoding/binary"
+	"encoding/json"
 	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"alloystack/internal/asstd"
 	"alloystack/internal/dag"
@@ -271,6 +277,197 @@ func TestCompensationsExactlyOnceAcrossResume(t *testing.T) {
 	}
 	if !st.Sealed || st.Verdict != "compensated" || len(st.CompDone) != 3 {
 		t.Fatalf("journal state = %+v", st)
+	}
+}
+
+func TestDurableRequiresJournalStore(t *testing.T) {
+	v := New(countingRegistry(map[string]*atomic.Int64{}))
+	// Durable (and Resume) without a journal store must fail loudly, not
+	// degrade into a fresh non-durable run.
+	for _, mutate := range []func(*RunOptions){
+		func(o *RunOptions) { o.Durable = true },
+		func(o *RunOptions) { o.Resume = "some-run" },
+	} {
+		_, err := v.RunWorkflow(pipelineWorkflow(2), testOpts(mutate))
+		if err == nil || !strings.Contains(err.Error(), "Journal") {
+			t.Fatalf("err = %v, want journal-required error", err)
+		}
+	}
+}
+
+// TestResumeIgnoresUncommittedSpills covers the torn-barrier window: a
+// crash after a stage's slot-spilled records are journaled but before
+// its stage-committed record lands. The resume re-executes that stage,
+// so importing the orphaned spills would make the re-run collide on its
+// own output slots (ErrSlotExists) and wrongly saga-unwind the run.
+func TestResumeIgnoresUncommittedSpills(t *testing.T) {
+	counts := map[string]*atomic.Int64{}
+	v := New(countingRegistry(counts))
+	store := openTestStore(t)
+
+	// Crash right after stage 0 commits: produce is durable, double has
+	// not run.
+	o := durableOpts(store, func(o *RunOptions) {
+		o.Faults = faults.NewPlan(1, faults.Crash{Point: "after-commit:0"})
+	})
+	res, err := v.RunWorkflow(pipelineWorkflow(2), o)
+	if !errors.Is(err, ErrCrashPoint) {
+		t.Fatalf("crashpoint: err = %v, want ErrCrashPoint", err)
+	}
+	id := res.RunID
+
+	// Simulate the torn barrier: journal stage 1's slot-spilled records
+	// (and persist the payloads) without the stage-committed record, as
+	// a crash between the spill fsync and the commit append would.
+	jr, _, err := store.Resume(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jr.StageStarted(1); err != nil {
+		t.Fatal(err)
+	}
+	spill := jr.Spill()
+	for i := 0; i < 2; i++ {
+		slot := Slot("double", i, "sum", 0)
+		payload := make([]byte, 8)
+		binary.LittleEndian.PutUint64(payload, uint64((i+1)*2))
+		if err := spill.Put(slot, payload); err != nil {
+			t.Fatal(err)
+		}
+		if err := jr.SlotSpilled(1, slot, 8, crc32.ChecksumIEEE(payload)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := spill.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := jr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The resume must re-execute stage 1 from scratch and ignore its
+	// orphaned spills.
+	ro := durableOpts(store, func(o *RunOptions) { o.Resume = id })
+	rres, err := v.RunWorkflow(pipelineWorkflow(2), ro)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if !rres.Resumed || rres.StagesSkipped != 1 || rres.Verdict != "ok" {
+		t.Fatalf("resume result = %+v", rres)
+	}
+	if got := counts["produce"].Load(); got != 1 {
+		t.Fatalf("produce executed %d times, want 1", got)
+	}
+	if got := counts["double"].Load(); got != 2 {
+		t.Fatalf("double executed %d instances, want 2 (stage 1 re-runs)", got)
+	}
+	if got := binary.LittleEndian.Uint64(rres.Exports[Slot("sum", 0, "out", 0)]); got != 6 {
+		t.Fatalf("resumed export = %d, want 6", got)
+	}
+}
+
+// slowKV is an in-memory xfer.KVClient whose Set stalls on chosen keys,
+// stretching one barrier's spill write to expose commit reordering.
+type slowKV struct {
+	delay func(key string) time.Duration
+	mu    sync.Mutex
+	m     map[string][]byte
+}
+
+func (k *slowKV) Set(key string, value []byte) error {
+	if d := k.delay(key); d > 0 {
+		time.Sleep(d)
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.m == nil {
+		k.m = map[string][]byte{}
+	}
+	k.m[key] = append([]byte(nil), value...)
+	return nil
+}
+
+func (k *slowKV) Get(key string) ([]byte, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	v, ok := k.m[key]
+	if !ok {
+		return nil, errors.New("slowKV: no such key")
+	}
+	return append([]byte(nil), v...), nil
+}
+
+func (k *slowKV) Del(key string) (bool, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	_, ok := k.m[key]
+	delete(k.m, key)
+	return ok, nil
+}
+
+// readJournalRecords hand-decodes a journal file's length-prefixed
+// record frames.
+func readJournalRecords(t *testing.T, path string) []journal.Record {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []journal.Record
+	for off := 0; off+8 <= len(raw); {
+		n := int(binary.LittleEndian.Uint32(raw[off : off+4]))
+		if off+8+n > len(raw) {
+			break
+		}
+		var rec journal.Record
+		if err := json.Unmarshal(raw[off+8:off+8+n], &rec); err != nil {
+			t.Fatalf("record at offset %d: %v", off, err)
+		}
+		recs = append(recs, rec)
+		off += 8 + n
+	}
+	return recs
+}
+
+// TestAsyncBarrierCommitsInStageOrder pins the prefix invariant of the
+// pipelined barrier: even when stage 0's spill write is much slower
+// than the later stages' (a 150ms-per-Put kv store here), the
+// stage-committed records must reach the journal in stage order — a
+// crash must never find stage N+1 committed without stage N.
+func TestAsyncBarrierCommitsInStageOrder(t *testing.T) {
+	counts := map[string]*atomic.Int64{}
+	v := New(countingRegistry(counts))
+	kv := &slowKV{delay: func(key string) time.Duration {
+		if strings.Contains(key, "produce:") {
+			return 150 * time.Millisecond
+		}
+		return 0
+	}}
+	store, err := journal.Open(t.TempDir(), journal.Options{KV: kv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No fault plan, so the run uses the async (pipelined) barrier.
+	res, err := v.RunWorkflow(pipelineWorkflow(2), durableOpts(store, nil))
+	if err != nil {
+		t.Fatalf("durable run: %v", err)
+	}
+	if res.Verdict != "ok" {
+		t.Fatalf("verdict = %q, want ok", res.Verdict)
+	}
+	var commits []int
+	for _, rec := range readJournalRecords(t, filepath.Join(store.Dir(), res.RunID+".journal")) {
+		if rec.Kind == journal.KindStageCommit {
+			commits = append(commits, rec.Stage)
+		}
+	}
+	if len(commits) != 3 {
+		t.Fatalf("stage-committed records = %v, want 3", commits)
+	}
+	for i, si := range commits {
+		if si != i {
+			t.Fatalf("stage-committed order = %v, want [0 1 2]", commits)
+		}
 	}
 }
 

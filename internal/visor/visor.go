@@ -534,7 +534,12 @@ func (v *Visor) runWorkflow(w *dag.Workflow, opts RunOptions) (*RunResult, error
 	// any work starts. The handle is closed on every exit path; Seal
 	// closes it too, so the deferred Close is a no-op after a seal.
 	var dj *durableRun
-	if (opts.Durable || opts.Resume != "") && opts.Journal != nil {
+	if opts.Durable || opts.Resume != "" {
+		if opts.Journal == nil {
+			// Never degrade silently: a resume request without a journal
+			// store would re-run the whole workflow fresh and non-durable.
+			return nil, errors.New("visor: RunOptions.Durable/Resume require a Journal store")
+		}
 		var err error
 		dj, err = openDurable(w, opts)
 		if err != nil {
