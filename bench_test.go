@@ -24,7 +24,7 @@ func benchOpts() bench.Options {
 	}
 }
 
-func runReport(b *testing.B, fn func(bench.Options) (*bench.Report, error)) {
+func runReport(b *testing.B, fn func(bench.Options) (*bench.Result, error)) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
 		rep, err := fn(benchOpts())

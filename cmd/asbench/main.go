@@ -4,12 +4,18 @@
 //
 //	asbench -exp fig10                 # one experiment
 //	asbench -exp all                   # the full evaluation
+//	asbench -exp cheap                 # the fast, CI-gated subset
 //	asbench -exp fig12 -scale 0.25     # larger data sizes
+//	asbench -exp cheap -record out/    # write BENCH_<exp>.json per experiment
+//	asbench -exp cheap -record out/ -compare benchmarks/baselines
 //	asbench -list                      # show available experiments
 //
 // Experiments print paper-style rows; DESIGN.md maps each experiment ID
 // to the corresponding paper table/figure, and EXPERIMENTS.md records
-// paper-vs-measured values.
+// paper-vs-measured values. With -record, each experiment also emits a
+// typed BENCH_<exp>.json (metrics + env fingerprint + subsystem
+// snapshot); with -compare, the result is diffed against the baseline
+// directory and a regression beyond the noise band fails the run.
 package main
 
 import (
@@ -23,7 +29,7 @@ import (
 )
 
 var experiments = map[string]struct {
-	fn    func(bench.Options) (*bench.Report, error)
+	fn    func(bench.Options) (*bench.Result, error)
 	about string
 }{
 	"table1":    {bench.Table1, "as-libos modules per serverless function"},
@@ -52,13 +58,22 @@ var order = []string{
 	"fig11", "fig14", "fig16", "fig15", "fig12", "fig13", "fig17a", "fig17b",
 }
 
+// cheapSet is the CI regression-gate subset: fast to run and dominated
+// by injected (deterministic) costs rather than host scheduling, so the
+// noise band holds on shared runners.
+var cheapSet = []string{"table1", "fig2", "fig10", "recovery", "coldstart", "crashresume"}
+
 func main() {
-	exp := flag.String("exp", "", "experiment id, or 'all'")
+	exp := flag.String("exp", "", "experiment id, 'all', or 'cheap' (the CI subset)")
 	list := flag.Bool("list", false, "list experiments")
 	scale := flag.Float64("scale", 1.0/16, "data-size scale relative to the paper")
 	costScale := flag.Float64("cost-scale", 1.0, "injected platform-cost scale (1.0 = calibrated)")
 	iters := flag.Int("iters", 1, "iterations per configuration (median reported)")
 	artifacts := flag.String("artifacts", "", "directory to keep experiment byproducts (journals) for CI upload")
+	record := flag.String("record", "", "directory to write BENCH_<exp>.json typed results into")
+	compare := flag.String("compare", "", "baseline directory of BENCH_<exp>.json files to gate against")
+	band := flag.Float64("band", 0, "relative noise band for -compare (0 = default 0.5)")
+	floorMS := flag.Float64("floor-ms", 0, "absolute noise floor in ms for -compare (0 = default 5, negative disables)")
 	flag.Parse()
 
 	if *list || *exp == "" {
@@ -84,31 +99,75 @@ func main() {
 		Out:        os.Stdout,
 	}
 	opts.ArtifactsDir = *artifacts
+	cmpOpts := bench.CompareOptions{Band: *band, FloorMS: *floorMS}
 
-	run := func(name string) error {
+	// run executes one experiment, records and compares as asked, and
+	// returns whether the experiment errored and whether it regressed.
+	run := func(name string) (failed, regressed bool) {
 		e, ok := experiments[name]
 		if !ok {
-			return fmt.Errorf("unknown experiment %q (use -list)", name)
+			fmt.Fprintf(os.Stderr, "asbench: unknown experiment %q (use -list)\n", name)
+			return true, false
 		}
 		start := time.Now()
-		if _, err := e.fn(opts); err != nil {
-			return fmt.Errorf("%s: %w", name, err)
+		res, err := e.fn(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "asbench: %s: %v\n", name, err)
+			return true, false
 		}
 		fmt.Printf("[%s completed in %s]\n\n", name, time.Since(start).Round(time.Millisecond))
-		return nil
-	}
-
-	if *exp == "all" {
-		for _, name := range order {
-			if err := run(name); err != nil {
-				fmt.Fprintln(os.Stderr, "asbench:", err)
-				os.Exit(1)
+		if *record != "" {
+			if _, err := bench.WriteResult(*record, res); err != nil {
+				fmt.Fprintf(os.Stderr, "asbench: %s: record: %v\n", name, err)
+				return true, false
 			}
 		}
+		if *compare != "" {
+			c, err := bench.CompareAgainstDir(res, *compare, cmpOpts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "asbench: %s: compare: %v\n", name, err)
+				return true, false
+			}
+			fmt.Printf("compare: %s\n\n", c)
+			for _, d := range c.Regressions() {
+				annotate(name, d)
+				regressed = true
+			}
+		}
+		return false, regressed
+	}
+
+	names := []string{*exp}
+	switch *exp {
+	case "all":
+		names = order
+	case "cheap":
+		names = cheapSet
+	}
+
+	// Keep going when one experiment fails so a broken table does not
+	// mask results (or regressions) from the rest; aggregate the exit.
+	anyFailed, anyRegressed := false, false
+	for _, name := range names {
+		failed, regressed := run(name)
+		anyFailed = anyFailed || failed
+		anyRegressed = anyRegressed || regressed
+	}
+	switch {
+	case anyFailed:
+		os.Exit(1)
+	case anyRegressed:
+		fmt.Fprintln(os.Stderr, "asbench: performance regression beyond noise band (see compare lines above)")
+		os.Exit(3)
+	}
+}
+
+// annotate emits a GitHub Actions error annotation for a regressed
+// metric when running under Actions, so the breach shows up on the PR
+// without digging through logs.
+func annotate(exp string, d bench.MetricDelta) {
+	if os.Getenv("GITHUB_ACTIONS") != "true" {
 		return
 	}
-	if err := run(*exp); err != nil {
-		fmt.Fprintln(os.Stderr, "asbench:", err)
-		os.Exit(1)
-	}
+	fmt.Printf("::error title=bench regression in %s::%s\n", exp, d)
 }

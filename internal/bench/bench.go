@@ -42,6 +42,10 @@ type Options struct {
 	// (e.g. the crashresume journal) there instead of a temp dir, so
 	// CI can upload them.
 	ArtifactsDir string
+	// Clock supplies the time source every measurement loop reads.
+	// Injected so asvet's wallclock analyzer can prove the package has
+	// exactly one wall-clock site (wallNow, the default).
+	Clock func() time.Time
 }
 
 func (o Options) withDefaults() Options {
@@ -57,8 +61,17 @@ func (o Options) withDefaults() Options {
 	if o.Out == nil {
 		o.Out = io.Discard
 	}
+	if o.Clock == nil {
+		o.Clock = wallNow
+	}
 	return o
 }
+
+// now reads the injected clock.
+func (o Options) now() time.Time { return o.Clock() }
+
+// since measures elapsed time on the injected clock.
+func (o Options) since(start time.Time) time.Duration { return o.Clock().Sub(start) }
 
 // size scales a paper-stated byte count, keeping it 8-byte aligned and
 // at least 4 KiB so every workload stays meaningful.
@@ -70,7 +83,9 @@ func (o Options) size(paperBytes int64) int64 {
 	return s &^ 7
 }
 
-// Report is a rendered experiment result.
+// Report is the aligned-text-table view of an experiment result.
+// Experiments build a typed *Result; Report carries only presentation
+// and is assembled by Result.Report().
 type Report struct {
 	ID     string
 	Title  string
@@ -99,7 +114,13 @@ func (r *Report) String() string {
 			if i > 0 {
 				b.WriteString("  ")
 			}
-			fmt.Fprintf(&b, "%-*s", widths[i], c)
+			// A row can be wider than the header; cells beyond the last
+			// header column get no padding instead of an index panic.
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			fmt.Fprintf(&b, "%-*s", w, c)
 		}
 		b.WriteString("\n")
 	}
@@ -118,9 +139,10 @@ func (r *Report) String() string {
 	return b.String()
 }
 
-// emit renders the report to the options' writer and returns it.
-func emit(o Options, r *Report) *Report {
-	fmt.Fprintln(o.Out, r.String())
+// emit renders the result's table view to the options' writer and
+// returns the typed result.
+func emit(o Options, r *Result) *Result {
+	fmt.Fprintln(o.Out, r.Report().String())
 	return r
 }
 

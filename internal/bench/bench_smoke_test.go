@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"strconv"
 	"strings"
 	"testing"
@@ -17,9 +18,9 @@ func smokeOpts() Options {
 	}
 }
 
-type expFunc func(Options) (*Report, error)
+type expFunc func(Options) (*Result, error)
 
-func runExp(t *testing.T, name string, fn expFunc) *Report {
+func runExp(t *testing.T, name string, fn expFunc) *Result {
 	t.Helper()
 	rep, err := fn(smokeOpts())
 	if err != nil {
@@ -34,6 +35,34 @@ func runExp(t *testing.T, name string, fn expFunc) *Report {
 		if len(row) == 0 {
 			t.Fatalf("%s: empty row", name)
 		}
+	}
+	// Typed-result invariants: every experiment must fingerprint its
+	// environment and emit at least one named metric.
+	if rep.Env.GoVersion == "" || rep.Env.NumCPU == 0 {
+		t.Fatalf("%s: env fingerprint missing: %+v", name, rep.Env)
+	}
+	if len(rep.Metrics) == 0 {
+		t.Fatalf("%s: no typed metrics recorded", name)
+	}
+	for _, m := range rep.Metrics {
+		if m.Name == "" || m.Unit == "" {
+			t.Fatalf("%s: metric missing name/unit: %+v", name, m)
+		}
+	}
+	// The rendered table must be a pure view over the serialisable
+	// fields: marshal → unmarshal → render must be byte-identical.
+	before := rep.Report().String()
+	blob, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("%s: marshal: %v", name, err)
+	}
+	var back Result
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatalf("%s: unmarshal: %v", name, err)
+	}
+	if after := back.Report().String(); after != before {
+		t.Fatalf("%s: render not stable across JSON round-trip:\n--- before ---\n%s\n--- after ---\n%s",
+			name, before, after)
 	}
 	return rep
 }
@@ -190,6 +219,44 @@ func TestReportRendering(t *testing.T) {
 		if !strings.Contains(s, want) {
 			t.Fatalf("rendered report missing %q:\n%s", want, s)
 		}
+	}
+}
+
+// A row wider than the header must render without panicking: extra
+// cells get zero padding instead of indexing past the widths slice.
+func TestReportRaggedRow(t *testing.T) {
+	r := &Report{
+		ID:     "ragged",
+		Title:  "ragged row",
+		Header: []string{"A", "B"},
+		Rows:   [][]string{{"1", "2", "surplus", "more"}},
+	}
+	s := r.String()
+	for _, want := range []string{"surplus", "more"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("ragged row dropped cell %q:\n%s", want, s)
+		}
+	}
+}
+
+// Metric lookup by name, and direction semantics on a real experiment.
+func TestResultMetricLookup(t *testing.T) {
+	rep := runExp(t, "crashresume", CrashResume)
+	m := rep.Metric("p50_ms/resume")
+	if m == nil {
+		t.Fatal("p50_ms/resume metric missing")
+	}
+	if m.Unit != "ms" || m.Direction != LowerIsBetter {
+		t.Fatalf("p50_ms/resume metric malformed: %+v", m)
+	}
+	if len(m.Samples) != crashresumeRuns {
+		t.Fatalf("p50 samples = %d, want %d", len(m.Samples), crashresumeRuns)
+	}
+	if g := rep.Metric("resume_speedup"); g == nil || g.Direction != HigherIsBetter {
+		t.Fatalf("resume_speedup gauge malformed: %+v", g)
+	}
+	if rep.Metric("no-such-metric") != nil {
+		t.Fatal("lookup of unknown metric should be nil")
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"alloystack/internal/metrics"
 	"alloystack/internal/pool"
 	"alloystack/internal/workloads"
 )
@@ -20,7 +21,7 @@ const coldstartRuns = 8
 // bootstrap on every invocation, while the warm arm forks a template
 // that paid both once. Reported are end-to-end and boot p50/p99 per arm
 // and the resulting speedup.
-func Coldstart(o Options) (*Report, error) {
+func Coldstart(o Options) (*Result, error) {
 	o = o.withDefaults()
 	size := o.size(16 << 20)
 	w := workloads.FunctionChain(3, size, "python")
@@ -50,7 +51,7 @@ func Coldstart(o Options) (*Report, error) {
 			if warm {
 				// Clones are single-use; restock before the next run the
 				// way the background maintenance loop would.
-				p.Maintain(time.Now())
+				p.Maintain(o.now())
 			}
 		}
 		return e2e, boot, nil
@@ -75,18 +76,31 @@ func Coldstart(o Options) (*Report, error) {
 		return nil, err
 	}
 
-	r := &Report{
-		ID:     "coldstart",
-		Title:  "cold boot vs warm-pool snapshot fork (Python tier)",
-		Header: []string{"boot", "e2e p50 (ms)", "e2e p99 (ms)", "boot p50 (ms)", "boot p99 (ms)"},
-		Rows: [][]string{
-			{"cold", ms(percentile(coldE2E, 50)), ms(percentile(coldE2E, 99)),
-				ms(percentile(coldBoot, 50)), ms(percentile(coldBoot, 99))},
-			{"warm", ms(percentile(warmE2E, 50)), ms(percentile(warmE2E, 99)),
-				ms(percentile(warmBoot, 50)), ms(percentile(warmBoot, 99))},
-		},
+	r := o.newResult("coldstart", "cold boot vs warm-pool snapshot fork (Python tier)")
+	r.Header = []string{"boot", "e2e p50 (ms)", "e2e p99 (ms)", "boot p50 (ms)", "boot p99 (ms)"}
+	arm := func(name string, e2e, boot []time.Duration) []string {
+		return []string{name,
+			r.msCell(metricKey("e2e_p50_ms", name), LowerIsBetter, percentile(e2e, 50), e2e...),
+			r.msCell(metricKey("e2e_p99_ms", name), LowerIsBetter, percentile(e2e, 99)),
+			r.msCell(metricKey("boot_p50_ms", name), LowerIsBetter, percentile(boot, 50), boot...),
+			r.msCell(metricKey("boot_p99_ms", name), LowerIsBetter, percentile(boot, 99)),
+		}
 	}
+	r.Rows = [][]string{
+		arm("cold", coldE2E, coldBoot),
+		arm("warm", warmE2E, warmBoot),
+	}
+	r.Snapshot.AddLatency("cold_e2e", metrics.Summarize(coldE2E))
+	r.Snapshot.AddLatency("warm_e2e", metrics.Summarize(warmE2E))
 	st := p.Stats()
+	r.Snapshot.AddCounter("pool_hits", st.Hits)
+	r.Snapshot.AddCounter("pool_misses", st.Misses)
+	r.Snapshot.AddCounter("pool_forks", st.Forks)
+	r.Snapshot.AddCounter("pool_evictions", st.Evictions)
+	r.gauge("speedup_e2e_p50", "x", HigherIsBetter,
+		ratio(percentile(coldE2E, 50), percentile(warmE2E, 50)))
+	r.gauge("speedup_boot_p50", "x", HigherIsBetter,
+		ratio(percentile(coldBoot, 50), percentile(warmBoot, 50)))
 	r.Notes = append(r.Notes,
 		fmt.Sprintf("%d runs per arm; warm pool: %d hits, %d forks, template boot %.0f ms paid once",
 			coldstartRuns, st.Hits, st.Forks, st.TemplateBoot),

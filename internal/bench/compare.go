@@ -1,0 +1,213 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// CompareOptions tunes the regression gate. The defaults are
+// deliberately generous: these experiments measure a simulated stack on
+// shared CI hardware, so the gate is meant to catch structural
+// regressions (an extra copy, a lost fast path, a 2x latency cliff),
+// not 10% scheduler noise.
+type CompareOptions struct {
+	// Band is the relative noise band: a gating metric may drift up to
+	// Band*|baseline| in its bad direction before it counts as a
+	// regression. Zero means "use the default" (0.5, i.e. ±50%).
+	Band float64
+	// FloorMS is the absolute noise floor for duration metrics, in
+	// milliseconds: drifts below it never gate, however small the
+	// baseline. Zero means "use the default" (5 ms). Negative disables
+	// the floor (useful in tests).
+	FloorMS float64
+}
+
+func (o CompareOptions) withDefaults() CompareOptions {
+	if o.Band == 0 {
+		o.Band = 0.5
+	}
+	if o.FloorMS == 0 {
+		o.FloorMS = 5
+	} else if o.FloorMS < 0 {
+		o.FloorMS = 0
+	}
+	return o
+}
+
+// floorFor translates the millisecond floor into the metric's own unit.
+// Percentage metrics get a fixed 5-point floor (relative bands are
+// meaningless near zero), and count metrics get none: copy and retry
+// counters are deterministic, so any drift is structural.
+func (o CompareOptions) floorFor(unit string) float64 {
+	switch unit {
+	case "ms":
+		return o.FloorMS
+	case "us":
+		return o.FloorMS * 1000
+	case "%":
+		if o.FloorMS == 0 {
+			return 0
+		}
+		return 5
+	default:
+		return 0
+	}
+}
+
+// MetricDelta is the comparator's verdict on one gating metric.
+type MetricDelta struct {
+	Name      string    `json:"name"`
+	Unit      string    `json:"unit"`
+	Direction Direction `json:"direction"`
+	Base      float64   `json:"base"`
+	Current   float64   `json:"current"`
+	// Drift is the change in the metric's bad direction, in its own
+	// unit: positive means "got worse", negative "got better".
+	Drift float64 `json:"drift"`
+	// Allowance is the noise band the drift was judged against:
+	// max(Band*|base|, unit floor).
+	Allowance float64 `json:"allowance"`
+	Regressed bool    `json:"regressed"`
+}
+
+// Comparison is the outcome of diffing one experiment against its
+// recorded baseline.
+type Comparison struct {
+	ID           string `json:"id"`
+	BaselinePath string `json:"baseline_path,omitempty"`
+	// Missing means no baseline file existed: the result was recorded
+	// but not compared, which is not a failure.
+	Missing bool `json:"missing,omitempty"`
+	// Skipped carries the reason the gate stood down (for example an
+	// env mismatch: baselines from a different scale are not
+	// comparable). Not a failure either.
+	Skipped string        `json:"skipped,omitempty"`
+	Deltas  []MetricDelta `json:"deltas,omitempty"`
+}
+
+// Regressions returns the deltas that breached the band.
+func (c *Comparison) Regressions() []MetricDelta {
+	var out []MetricDelta
+	for _, d := range c.Deltas {
+		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// String renders the comparison the way the CLI prints it: one line per
+// regression naming the metric and how far past the band it landed,
+// or a single all-clear line.
+func (c *Comparison) String() string {
+	var b strings.Builder
+	switch {
+	case c.Missing:
+		fmt.Fprintf(&b, "%s: recorded, not compared (no baseline)", c.ID)
+	case c.Skipped != "":
+		fmt.Fprintf(&b, "%s: compare skipped: %s", c.ID, c.Skipped)
+	case len(c.Regressions()) == 0:
+		fmt.Fprintf(&b, "%s: OK (%d metrics within band)", c.ID, len(c.Deltas))
+	default:
+		fmt.Fprintf(&b, "%s: REGRESSION", c.ID)
+		for _, d := range c.Regressions() {
+			fmt.Fprintf(&b, "\n  %s", d.describe())
+		}
+	}
+	return b.String()
+}
+
+// String renders the delta the way regression lines print it.
+func (d MetricDelta) String() string { return d.describe() }
+
+func (d MetricDelta) describe() string {
+	verb := "rose"
+	if d.Direction == HigherIsBetter {
+		verb = "fell"
+	}
+	pct := ""
+	if d.Base != 0 {
+		pct = fmt.Sprintf(" (%+.0f%%)", 100*(d.Current-d.Base)/math.Abs(d.Base))
+	}
+	return fmt.Sprintf("%s %s %.4g -> %.4g %s%s, drift %.4g > allowed %.4g",
+		d.Name, verb, d.Base, d.Current, d.Unit, pct, d.Drift, d.Allowance)
+}
+
+// Compare diffs cur against base metric-by-metric. Only metrics with a
+// gating direction participate; informational metrics and metrics
+// absent from the baseline are ignored. A drift exactly at the
+// allowance is within band — only strictly beyond it regresses.
+func Compare(cur, base *Result, o CompareOptions) *Comparison {
+	o = o.withDefaults()
+	c := &Comparison{ID: cur.ID}
+	if base == nil {
+		c.Missing = true
+		return c
+	}
+	if reason := envMismatch(cur.Env, base.Env); reason != "" {
+		c.Skipped = reason
+		return c
+	}
+	for _, m := range cur.Metrics {
+		if m.Direction == Informational {
+			continue
+		}
+		bm := base.Metric(m.Name)
+		if bm == nil {
+			continue // new metric: recorded, nothing to gate against
+		}
+		drift := m.Value - bm.Value
+		if m.Direction == HigherIsBetter {
+			drift = -drift
+		}
+		allowance := math.Max(o.Band*math.Abs(bm.Value), o.floorFor(m.Unit))
+		c.Deltas = append(c.Deltas, MetricDelta{
+			Name:      m.Name,
+			Unit:      m.Unit,
+			Direction: m.Direction,
+			Base:      bm.Value,
+			Current:   m.Value,
+			Drift:     drift,
+			Allowance: allowance,
+			Regressed: drift > allowance,
+		})
+	}
+	return c
+}
+
+// envMismatch reports why two environments are not comparable, or ""
+// when they are. Only the knobs that change what is being measured
+// (scale, cost scale, iteration count) block comparison; hardware
+// differences widen noise but the band absorbs them.
+func envMismatch(cur, base Env) string {
+	switch {
+	case cur.Scale != base.Scale:
+		return fmt.Sprintf("scale %g vs baseline %g", cur.Scale, base.Scale)
+	case cur.CostScale != base.CostScale:
+		return fmt.Sprintf("cost-scale %g vs baseline %g", cur.CostScale, base.CostScale)
+	case cur.Iterations != base.Iterations:
+		return fmt.Sprintf("iterations %d vs baseline %d", cur.Iterations, base.Iterations)
+	}
+	return ""
+}
+
+// CompareAgainstDir diffs cur against the BENCH_<id>.json baseline in
+// dir, tolerating a missing file (Missing=true, no regressions).
+func CompareAgainstDir(cur *Result, dir string, o CompareOptions) (*Comparison, error) {
+	path := filepath.Join(dir, BenchFileName(cur.ID))
+	base, err := ReadResult(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			c := Compare(cur, nil, o)
+			return c, nil
+		}
+		return nil, err
+	}
+	c := Compare(cur, base, o)
+	c.BaselinePath = path
+	return c, nil
+}

@@ -1,0 +1,251 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"alloystack/internal/metrics"
+)
+
+func testEnv() Env {
+	return Env{
+		GoVersion: "go1.21", GOOS: "linux", GOARCH: "amd64", NumCPU: 8,
+		Scale: 0.01, CostScale: 0.01, Iterations: 1,
+	}
+}
+
+func resultWith(ms ...Metric) *Result {
+	return &Result{ID: "synthetic", Title: "synthetic", Env: testEnv(), Metrics: ms}
+}
+
+// strictOpts disables the absolute floor so the relative band is the
+// only tolerance under test.
+func strictOpts(band float64) CompareOptions {
+	return CompareOptions{Band: band, FloorMS: -1}
+}
+
+func TestCompareWithinAndBeyondBand(t *testing.T) {
+	base := resultWith(Metric{Name: "p50_ms/x", Unit: "ms", Value: 100, Direction: LowerIsBetter})
+
+	// Exactly at the band: 100 -> 150 with a 0.5 band is allowed.
+	cur := resultWith(Metric{Name: "p50_ms/x", Unit: "ms", Value: 150, Direction: LowerIsBetter})
+	c := Compare(cur, base, strictOpts(0.5))
+	if len(c.Deltas) != 1 || c.Deltas[0].Regressed {
+		t.Fatalf("drift exactly at band must pass: %+v", c.Deltas)
+	}
+
+	// A hair beyond the band regresses.
+	cur = resultWith(Metric{Name: "p50_ms/x", Unit: "ms", Value: 150.01, Direction: LowerIsBetter})
+	c = Compare(cur, base, strictOpts(0.5))
+	if regs := c.Regressions(); len(regs) != 1 {
+		t.Fatalf("drift beyond band must regress: %+v", c.Deltas)
+	} else if !strings.Contains(regs[0].describe(), "p50_ms/x rose") {
+		t.Fatalf("describe should name the metric and direction: %q", regs[0].describe())
+	}
+
+	// Improvement never regresses, however large.
+	cur = resultWith(Metric{Name: "p50_ms/x", Unit: "ms", Value: 1, Direction: LowerIsBetter})
+	if c := Compare(cur, base, strictOpts(0.5)); len(c.Regressions()) != 0 {
+		t.Fatalf("improvement flagged as regression: %+v", c.Deltas)
+	}
+}
+
+func TestCompareDirectionAware(t *testing.T) {
+	base := resultWith(
+		Metric{Name: "tput_MBps", Unit: "MBps", Value: 200, Direction: HigherIsBetter},
+		Metric{Name: "model_ms", Unit: "ms", Value: 10, Direction: Informational},
+	)
+
+	// Throughput dropping beyond the band regresses...
+	cur := resultWith(
+		Metric{Name: "tput_MBps", Unit: "MBps", Value: 90, Direction: HigherIsBetter},
+		Metric{Name: "model_ms", Unit: "ms", Value: 1000, Direction: Informational},
+	)
+	c := Compare(cur, base, strictOpts(0.5))
+	regs := c.Regressions()
+	if len(regs) != 1 || regs[0].Name != "tput_MBps" {
+		t.Fatalf("throughput drop should be the only regression: %+v", c.Deltas)
+	}
+	if !strings.Contains(regs[0].describe(), "fell") {
+		t.Fatalf("higher-is-better regression should say fell: %q", regs[0].describe())
+	}
+
+	// ...while rising throughput is fine even at 10x.
+	cur = resultWith(Metric{Name: "tput_MBps", Unit: "MBps", Value: 2000, Direction: HigherIsBetter})
+	if c := Compare(cur, base, strictOpts(0.5)); len(c.Regressions()) != 0 {
+		t.Fatalf("throughput gain flagged: %+v", c.Deltas)
+	}
+}
+
+func TestCompareFloors(t *testing.T) {
+	// 1 ms baseline: relative band is tiny, but the 5 ms floor absorbs
+	// a 4 ms drift.
+	base := resultWith(Metric{Name: "p50_ms/x", Unit: "ms", Value: 1, Direction: LowerIsBetter})
+	cur := resultWith(Metric{Name: "p50_ms/x", Unit: "ms", Value: 5, Direction: LowerIsBetter})
+	if c := Compare(cur, base, CompareOptions{}); len(c.Regressions()) != 0 {
+		t.Fatalf("drift under the ms floor flagged: %+v", c.Deltas)
+	}
+
+	// Same floor in microsecond units: 5000 us.
+	base = resultWith(Metric{Name: "lat_us", Unit: "us", Value: 100, Direction: LowerIsBetter})
+	cur = resultWith(Metric{Name: "lat_us", Unit: "us", Value: 5000, Direction: LowerIsBetter})
+	if c := Compare(cur, base, CompareOptions{}); len(c.Regressions()) != 0 {
+		t.Fatalf("drift under the us floor flagged: %+v", c.Deltas)
+	}
+
+	// Counts have no floor: a copies counter going 0 -> 1 regresses.
+	base = resultWith(Metric{Name: "copies/AS", Unit: "count", Value: 0, Direction: LowerIsBetter})
+	cur = resultWith(Metric{Name: "copies/AS", Unit: "count", Value: 1, Direction: LowerIsBetter})
+	if c := Compare(cur, base, CompareOptions{}); len(c.Regressions()) != 1 {
+		t.Fatalf("structural copy regression missed: %+v", c.Deltas)
+	}
+}
+
+func TestCompareEnvMismatchSkips(t *testing.T) {
+	base := resultWith(Metric{Name: "p50_ms/x", Unit: "ms", Value: 1, Direction: LowerIsBetter})
+	cur := resultWith(Metric{Name: "p50_ms/x", Unit: "ms", Value: 1e9, Direction: LowerIsBetter})
+	cur.Env.Scale = 1.0 // baseline was recorded at 0.01
+	c := Compare(cur, base, CompareOptions{})
+	if c.Skipped == "" || len(c.Deltas) != 0 {
+		t.Fatalf("scale mismatch must skip the gate: %+v", c)
+	}
+	if !strings.Contains(c.String(), "compare skipped") {
+		t.Fatalf("skip reason not rendered: %q", c.String())
+	}
+}
+
+func TestCompareAgainstDir(t *testing.T) {
+	dir := t.TempDir()
+	cur := resultWith(Metric{Name: "p50_ms/x", Unit: "ms", Value: 100, Direction: LowerIsBetter})
+
+	// Missing baseline: recorded, not compared, not a failure.
+	c, err := CompareAgainstDir(cur, dir, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Missing || len(c.Regressions()) != 0 {
+		t.Fatalf("missing baseline mishandled: %+v", c)
+	}
+	if !strings.Contains(c.String(), "recorded, not compared") {
+		t.Fatalf("missing-baseline message wrong: %q", c.String())
+	}
+
+	// Record a baseline, then a seeded regression against it.
+	if _, err := WriteResult(dir, cur); err != nil {
+		t.Fatal(err)
+	}
+	worse := resultWith(Metric{Name: "p50_ms/x", Unit: "ms", Value: 400, Direction: LowerIsBetter})
+	c, err = CompareAgainstDir(worse, dir, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Regressions()) != 1 {
+		t.Fatalf("seeded 4x regression not caught: %+v", c.Deltas)
+	}
+	if !strings.Contains(c.String(), "REGRESSION") || !strings.Contains(c.String(), "p50_ms/x") {
+		t.Fatalf("regression rendering must name the metric: %q", c.String())
+	}
+
+	// A within-band rerun of the same numbers passes.
+	c, err = CompareAgainstDir(cur, dir, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Regressions()) != 0 {
+		t.Fatalf("identical rerun regressed: %+v", c.Deltas)
+	}
+}
+
+func TestWriteResultStampsEnv(t *testing.T) {
+	dir := t.TempDir()
+	r := resultWith(Metric{Name: "p50_ms/x", Unit: "ms", Value: 1, Direction: LowerIsBetter})
+	path, err := WriteResult(dir, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_synthetic.json" {
+		t.Fatalf("recorded file name = %s", path)
+	}
+	back, err := ReadResult(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Env.RecordedAt == "" {
+		t.Fatal("RecordedAt not stamped")
+	}
+	if _, err := time.Parse(time.RFC3339, back.Env.RecordedAt); err != nil {
+		t.Fatalf("RecordedAt not RFC3339: %q", back.Env.RecordedAt)
+	}
+	// Leftover temp files would pollute the baselines dir.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("dir not clean after atomic write: %v", ents)
+	}
+}
+
+// TestGoldenRoundTrip pins the on-disk schema: the committed golden
+// file must load, survive a decode→encode→decode cycle unchanged, and
+// render its table from the serialised fields alone.
+func TestGoldenRoundTrip(t *testing.T) {
+	golden := filepath.Join("testdata", "BENCH_golden.json")
+	r, err := ReadResult(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != "golden" || r.Env.GoVersion == "" || len(r.Metrics) == 0 {
+		t.Fatalf("golden file misparsed: %+v", r)
+	}
+	if m := r.Metric("p50_ms/chain"); m == nil || m.Unit != "ms" ||
+		m.Direction != LowerIsBetter || len(m.Samples) != 3 ||
+		m.Samples[0] != 10*time.Millisecond {
+		t.Fatalf("samples_ns did not decode to durations: %+v", m)
+	}
+	if r.Snapshot.Counters["journal_appends"] != 42 {
+		t.Fatalf("snapshot counters misparsed: %+v", r.Snapshot)
+	}
+	if r.Snapshot.Latency["chain"].P50 != 10*time.Millisecond {
+		t.Fatalf("snapshot latency misparsed: %+v", r.Snapshot.Latency)
+	}
+
+	blob, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Result
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := back.Report().String(), r.Report().String(); got != want {
+		t.Fatalf("golden render unstable:\n%s\nvs\n%s", got, want)
+	}
+	for _, cell := range []string{"function-chain", "10.00", "note: golden fixture"} {
+		if !strings.Contains(r.Report().String(), cell) {
+			t.Fatalf("golden table missing %q:\n%s", cell, r.Report().String())
+		}
+	}
+
+	// Comparing the golden against itself is a clean pass.
+	if c := Compare(r, r, CompareOptions{}); len(c.Regressions()) != 0 {
+		t.Fatalf("golden vs itself regressed: %+v", c.Deltas)
+	}
+}
+
+func TestSnapshotAccumulation(t *testing.T) {
+	var s metrics.Snapshot
+	s.AddCounter("x", 2)
+	s.AddCounter("x", 3)
+	if s.Counters["x"] != 5 {
+		t.Fatalf("counter accumulation = %d", s.Counters["x"])
+	}
+	s.AddLatency("l", metrics.Summary{Count: 1, P50: time.Millisecond})
+	if s.Latency["l"].P50 != time.Millisecond {
+		t.Fatalf("latency snapshot = %+v", s.Latency)
+	}
+}

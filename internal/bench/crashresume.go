@@ -7,6 +7,7 @@ import (
 
 	"alloystack/internal/faults"
 	"alloystack/internal/journal"
+	"alloystack/internal/metrics"
 	"alloystack/internal/visor"
 	"alloystack/internal/workloads"
 )
@@ -33,7 +34,7 @@ const crashresumeRuns = 7
 // The crash uses the seeded soft crashpoint (no CrashFn installed), so
 // the journal is left exactly as a killed process would leave it:
 // unsealed, committed prefix 2 of 5.
-func CrashResume(o Options) (*Report, error) {
+func CrashResume(o Options) (*Result, error) {
 	o = o.withDefaults()
 	size := o.size(16 << 20)
 	w := workloads.FunctionChain(5, size, "python")
@@ -76,11 +77,11 @@ func CrashResume(o Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		start := time.Now()
+		start := o.now()
 		if _, err := v.RunWorkflow(w, ro); err != nil {
 			return nil, fmt.Errorf("plain run %d: %w", i, err)
 		}
-		plain = append(plain, time.Since(start))
+		plain = append(plain, o.since(start))
 
 		// Arm 2: durable run, no crash.
 		ro, err = buildOpts(func(r *visor.RunOptions) {
@@ -90,11 +91,11 @@ func CrashResume(o Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		start = time.Now()
+		start = o.now()
 		if _, err := v.RunWorkflow(w, ro); err != nil {
 			return nil, fmt.Errorf("durable run %d: %w", i, err)
 		}
-		durable = append(durable, time.Since(start))
+		durable = append(durable, o.since(start))
 
 		// Arm 3: crash after the second barrier's commit (not timed),
 		// then resume.
@@ -118,12 +119,12 @@ func CrashResume(o Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		start = time.Now()
+		start = o.now()
 		rres, rerr := v.RunWorkflow(w, rro)
 		if rerr != nil {
 			return nil, fmt.Errorf("resume run %d: %w", i, rerr)
 		}
-		resume = append(resume, time.Since(start))
+		resume = append(resume, o.since(start))
 		skipped = rres.StagesSkipped
 		replayed = len(rres.Stages) - rres.StagesSkipped
 	}
@@ -131,18 +132,31 @@ func CrashResume(o Options) (*Report, error) {
 	overhead := 100 * (float64(percentile(durable, 50)) - float64(percentile(plain, 50))) /
 		float64(percentile(plain, 50))
 
-	r := &Report{
-		ID:     "crashresume",
-		Title:  "durable-run journal: crash-resume vs cold re-run (python chain x5)",
-		Header: []string{"arm", "p50 (ms)", "p99 (ms)", "stages run"},
-		Rows: [][]string{
-			{"plain (cold re-run)", ms(percentile(plain, 50)), ms(percentile(plain, 99)), "5"},
-			{"durable (no crash)", ms(percentile(durable, 50)), ms(percentile(durable, 99)), "5"},
-			{"resume after crash", ms(percentile(resume, 50)), ms(percentile(resume, 99)),
-				fmt.Sprintf("%d (%d skipped)", replayed, skipped)},
-		},
+	r := o.newResult("crashresume", "durable-run journal: crash-resume vs cold re-run (python chain x5)")
+	r.Header = []string{"arm", "p50 (ms)", "p99 (ms)", "stages run"}
+	r.Rows = [][]string{
+		{"plain (cold re-run)",
+			r.msCell("p50_ms/plain", LowerIsBetter, percentile(plain, 50), plain...),
+			r.msCell("p99_ms/plain", LowerIsBetter, percentile(plain, 99)), "5"},
+		{"durable (no crash)",
+			r.msCell("p50_ms/durable", LowerIsBetter, percentile(durable, 50), durable...),
+			r.msCell("p99_ms/durable", LowerIsBetter, percentile(durable, 99)), "5"},
+		{"resume after crash",
+			r.msCell("p50_ms/resume", LowerIsBetter, percentile(resume, 50), resume...),
+			r.msCell("p99_ms/resume", LowerIsBetter, percentile(resume, 99)),
+			fmt.Sprintf("%d (%d skipped)", replayed, skipped)},
 	}
 	st := store.Stats()
+	r.Snapshot.AddLatency("plain", metrics.Summarize(plain))
+	r.Snapshot.AddLatency("durable", metrics.Summarize(durable))
+	r.Snapshot.AddLatency("resume", metrics.Summarize(resume))
+	r.Snapshot.AddCounter("journal_appends", st.Appends)
+	r.Snapshot.AddCounter("journal_bytes", st.Bytes)
+	r.Snapshot.AddCounter("journal_resumes", st.Resumes)
+	r.Snapshot.AddCounter("stages_skipped", int64(skipped))
+	r.gauge("durable_overhead_pct", "%", LowerIsBetter, overhead)
+	r.gauge("resume_speedup", "x", HigherIsBetter,
+		ratio(percentile(plain, 50), percentile(resume, 50)))
 	r.Notes = append(r.Notes,
 		fmt.Sprintf("%d runs per arm; crash point after-commit:1 → committed prefix 2 of 5", crashresumeRuns),
 		fmt.Sprintf("journal: %d appends, %d bytes, %d resumes (group-commit fsync, async barriers)",

@@ -14,29 +14,27 @@ import (
 
 // Fig11 measures intermediate-data transfer latency with the pipe
 // benchmark across data sizes and systems (paper Figure 11).
-func Fig11(o Options) (*Report, error) {
+func Fig11(o Options) (*Result, error) {
 	o = o.withDefaults()
 	sizes := []int64{4 << 10, o.size(1 << 20), o.size(4 << 20), o.size(16 << 20)}
 	systems := []string{"AS", "AS-IFI", "AS-C", "AS-Py", "Faastlane", "Faastlane-IPC", "Faasm-C", "OpenFaaS"}
-	rep := &Report{
-		ID:     "fig11",
-		Title:  "intermediate data transfer latency, pipe benchmark (paper Fig 11)",
-		Header: append([]string{"Size"}, systems...),
-		Notes: []string{
-			"values are total transfer-stage time in microseconds (write begins to read completes)",
-			"paper @16MB: AS 951us, AS-C 697us, AS-Py 9631us; AS beats Faastlane above 4KB",
-			"final row: payload copies per transfer from the data-plane counters —",
-			"0 under reference passing, >=2 when an external store mediates the edge",
-		},
+	rep := o.newResult("fig11", "intermediate data transfer latency, pipe benchmark (paper Fig 11)")
+	rep.Header = append([]string{"Size"}, systems...)
+	rep.Notes = []string{
+		"values are total transfer-stage time in microseconds (write begins to read completes)",
+		"paper @16MB: AS 951us, AS-C 697us, AS-Py 9631us; AS beats Faastlane above 4KB",
+		"final row: payload copies per transfer from the data-plane counters —",
+		"0 under reference passing, >=2 when an external store mediates the edge",
 	}
 	v := newAlloyVisor()
 	var copiesRow []string
 	var lastASTransfer string
 	for _, size := range sizes {
-		row := []string{humanBytes(size)}
+		label := humanBytes(size)
+		row := []string{label}
 		copiesRow = []string{"copies"}
 		// AlloyStack native.
-		for _, mode := range []struct {
+		for i, mode := range []struct {
 			ifi  bool
 			lang string
 		}{{false, "native"}, {true, "native"}, {false, "c"}, {false, "python"}} {
@@ -55,14 +53,19 @@ func Fig11(o Options) (*Report, error) {
 			if err != nil {
 				return nil, fmt.Errorf("fig11 AS %s size %d: %w", mode.lang, size, err)
 			}
-			row = append(row, us(res.Clock.Total(metrics.StageTransfer)))
-			copiesRow = append(copiesRow, fmt.Sprint(res.Transfer.Totals().Copies))
+			row = append(row, rep.usCell(metricKey("transfer_us", systems[i], label), LowerIsBetter,
+				res.Clock.Total(metrics.StageTransfer)))
+			copiesRow = append(copiesRow, rep.countCell(metricKey("copies", systems[i], label),
+				LowerIsBetter, res.Transfer.Totals().Copies))
 			if mode.lang == "native" && !mode.ifi {
 				lastASTransfer = res.Transfer.String()
+				// Snapshot tracks the largest size only, like the note.
+				rep.Snapshot.Transport = nil
+				rep.Snapshot.AddTransport(res.Transfer)
 			}
 		}
 		// Baselines.
-		for _, bl := range []struct {
+		for i, bl := range []struct {
 			sys  baselines.System
 			lang string
 		}{
@@ -76,8 +79,10 @@ func Fig11(o Options) (*Report, error) {
 			if err != nil {
 				return nil, fmt.Errorf("fig11 %s size %d: %w", bl.sys, size, err)
 			}
-			row = append(row, us(res.Clock.Total(metrics.StageTransfer)))
-			copiesRow = append(copiesRow, fmt.Sprint(res.Transfer.Totals().Copies))
+			row = append(row, rep.usCell(metricKey("transfer_us", systems[4+i], label), LowerIsBetter,
+				res.Clock.Total(metrics.StageTransfer)))
+			copiesRow = append(copiesRow, rep.countCell(metricKey("copies", systems[4+i], label),
+				LowerIsBetter, res.Transfer.Totals().Copies))
 		}
 		rep.Rows = append(rep.Rows, row)
 	}
@@ -113,6 +118,11 @@ func (c e2eConfig) workflow(lang string, size int64) *dag.Workflow {
 	default:
 		return workloads.FunctionChain(c.inst, size, lang)
 	}
+}
+
+// key is the stable metric-name form of a config cell.
+func (c e2eConfig) key(size int64) string {
+	return fmt.Sprintf("%s-%s-x%d", c.app, humanBytes(size), c.inst)
 }
 
 func (c e2eConfig) label(size int64) string {
@@ -163,7 +173,7 @@ func (c e2eConfig) inputs(size int64) map[string][]byte {
 }
 
 // Fig12 is the Rust-tier end-to-end comparison (paper Figure 12).
-func Fig12(o Options) (*Report, error) {
+func Fig12(o Options) (*Result, error) {
 	o = o.withDefaults()
 	systems := []baselines.System{
 		baselines.SysOpenFaaS, baselines.SysOpenFaaSGVisor,
@@ -174,15 +184,12 @@ func Fig12(o Options) (*Report, error) {
 	for _, s := range systems {
 		header = append(header, string(s)+" (ms)")
 	}
-	rep := &Report{
-		ID:     "fig12",
-		Title:  "Rust-tier end-to-end latency (paper Fig 12)",
-		Header: header,
-		Notes: []string{
-			fmt.Sprintf("data sizes scaled by %.4f vs the paper", o.Scale),
-			"paper: AS 2.1-3.29x vs Faastlane and 6.5-29.3x vs OpenFaaS(-gVisor) on PS;",
-			"4.08-10.15x vs OpenFaaS on FC; Faastlane slightly ahead on WC (rust-fatfs reads)",
-		},
+	rep := o.newResult("fig12", "Rust-tier end-to-end latency (paper Fig 12)")
+	rep.Header = header
+	rep.Notes = []string{
+		fmt.Sprintf("data sizes scaled by %.4f vs the paper", o.Scale),
+		"paper: AS 2.1-3.29x vs Faastlane and 6.5-29.3x vs OpenFaaS(-gVisor) on PS;",
+		"4.08-10.15x vs OpenFaaS on FC; Faastlane slightly ahead on WC (rust-fatfs reads)",
 	}
 	v := newAlloyVisor()
 	for _, c := range fig12Configs {
@@ -192,13 +199,13 @@ func Fig12(o Options) (*Report, error) {
 		if err != nil {
 			return nil, fmt.Errorf("fig12 AS %s: %w", c.label(size), err)
 		}
-		row = append(row, ms(asRes.E2E))
+		row = append(row, rep.msCell(metricKey("e2e_ms", c.key(size), "AS"), LowerIsBetter, asRes.E2E))
 		for _, sys := range systems {
 			res, err := runBaseline(o, sys, "native", c.workflow("native", size), c.inputs(size))
 			if err != nil {
 				return nil, fmt.Errorf("fig12 %s %s: %w", sys, c.label(size), err)
 			}
-			row = append(row, ms(res.E2E))
+			row = append(row, rep.msCell(metricKey("e2e_ms", c.key(size), string(sys)), Informational, res.E2E))
 		}
 		rep.Rows = append(rep.Rows, row)
 	}
@@ -206,17 +213,14 @@ func Fig12(o Options) (*Report, error) {
 }
 
 // Fig13 is the C and Python tier comparison against Faasm (paper Fig 13).
-func Fig13(o Options) (*Report, error) {
+func Fig13(o Options) (*Result, error) {
 	o = o.withDefaults()
-	rep := &Report{
-		ID:     "fig13",
-		Title:  "C and Python end-to-end latency vs Faasm (paper Fig 13)",
-		Header: []string{"Configuration", "AS-C (ms)", "Faasm-C (ms)", "AS-Py (ms)", "Faasm-Py (ms)"},
-		Notes: []string{
-			"python-tier sizes are scaled down a further 8x (interpreted bytecode)",
-			"paper: AS-C 1.02-2.77x on WC, 3.01-12.41x on FC; slightly slower on PS",
-			"(Wasmtime 30% < WAVM); AS-Py up to 78.3x on FC",
-		},
+	rep := o.newResult("fig13", "C and Python end-to-end latency vs Faasm (paper Fig 13)")
+	rep.Header = []string{"Configuration", "AS-C (ms)", "Faasm-C (ms)", "AS-Py (ms)", "Faasm-Py (ms)"}
+	rep.Notes = []string{
+		"python-tier sizes are scaled down a further 8x (interpreted bytecode)",
+		"paper: AS-C 1.02-2.77x on WC, 3.01-12.41x on FC; slightly slower on PS",
+		"(Wasmtime 30% < WAVM); AS-Py up to 78.3x on FC",
 	}
 	v := newAlloyVisor()
 	for _, c := range fig12Configs {
@@ -236,7 +240,10 @@ func Fig13(o Options) (*Report, error) {
 			if err != nil {
 				return nil, fmt.Errorf("fig13 Faasm-%s %s: %w", tier.lang, c.label(tier.size), err)
 			}
-			row = append(row, ms(asRes.E2E), ms(faasmRes.E2E))
+			key := c.key(tier.size)
+			row = append(row,
+				rep.msCell(metricKey("e2e_ms", key, "AS-"+tier.lang), LowerIsBetter, asRes.E2E),
+				rep.msCell(metricKey("e2e_ms", key, "Faasm-"+tier.lang), Informational, faasmRes.E2E))
 		}
 		rep.Rows = append(rep.Rows, row)
 	}
@@ -245,7 +252,7 @@ func Fig13(o Options) (*Report, error) {
 
 // Fig14 is the technique ablation: on-demand loading and reference
 // passing enabled independently (paper Figure 14).
-func Fig14(o Options) (*Report, error) {
+func Fig14(o Options) (*Result, error) {
 	o = o.withDefaults()
 	configs := []e2eConfig{
 		{"wc", 10 << 20, 5},
@@ -262,19 +269,17 @@ func Fig14(o Options) (*Report, error) {
 		{"+ref-passing", false, true},
 		{"+both", true, true},
 	}
-	rep := &Report{
-		ID:     "fig14",
-		Title:  "contribution of on-demand loading and reference passing (paper Fig 14)",
-		Header: []string{"Workload", "base (ms)", "+on-demand (ms)", "+ref-passing (ms)", "+both (ms)", "on-demand save", "ref-pass save", "copies base", "copies +both"},
-		Notes: []string{
-			"paper: on-demand loading cuts 40.2-48.0% of latency; reference passing 34.7-51.0%",
-			"disabled reference passing routes intermediate data through fatfs files",
-			"copies columns: total payload copies counted by the data plane (file spill vs refpass)",
-		},
+	rep := o.newResult("fig14", "contribution of on-demand loading and reference passing (paper Fig 14)")
+	rep.Header = []string{"Workload", "base (ms)", "+on-demand (ms)", "+ref-passing (ms)", "+both (ms)", "on-demand save", "ref-pass save", "copies base", "copies +both"}
+	rep.Notes = []string{
+		"paper: on-demand loading cuts 40.2-48.0% of latency; reference passing 34.7-51.0%",
+		"disabled reference passing routes intermediate data through fatfs files",
+		"copies columns: total payload copies counted by the data plane (file spill vs refpass)",
 	}
 	v := newAlloyVisor()
 	for _, c := range configs {
 		size := o.size(c.paperSize)
+		key := c.key(size)
 		row := []string{c.label(size)}
 		times := make([]time.Duration, len(arms))
 		copies := make([]int64, len(arms))
@@ -293,81 +298,84 @@ func Fig14(o Options) (*Report, error) {
 			}
 			times[i] = res.E2E
 			copies[i] = res.Transfer.Totals().Copies
-			row = append(row, ms(res.E2E))
+			row = append(row, rep.msCell(metricKey("e2e_ms", key, arm.name), LowerIsBetter, res.E2E))
 		}
 		odSave := 1 - float64(times[1])/float64(times[0])
 		rpSave := 1 - float64(times[2])/float64(times[0])
+		rep.gauge(metricKey("save_pct", key, "on-demand"), "%", HigherIsBetter, odSave*100)
+		rep.gauge(metricKey("save_pct", key, "ref-passing"), "%", HigherIsBetter, rpSave*100)
 		row = append(row, fmt.Sprintf("%.1f%%", odSave*100), fmt.Sprintf("%.1f%%", rpSave*100),
-			fmt.Sprint(copies[0]), fmt.Sprint(copies[len(arms)-1]))
+			rep.countCell(metricKey("copies", key, "base"), Informational, copies[0]),
+			rep.countCell(metricKey("copies", key, "both"), LowerIsBetter, copies[len(arms)-1]))
 		rep.Rows = append(rep.Rows, row)
 	}
 	return emit(o, rep), nil
 }
 
 // Fig15 is the per-stage latency breakdown (paper Figure 15).
-func Fig15(o Options) (*Report, error) {
+func Fig15(o Options) (*Result, error) {
 	o = o.withDefaults()
 	configs := []e2eConfig{
 		{"wc", 100 << 20, 3},
 		{"ps", 25 << 20, 3},
 		{"fc", 64 << 20, 10},
 	}
-	rep := &Report{
-		ID:     "fig15",
-		Title:  "end-to-end latency breakdown (paper Fig 15)",
-		Header: []string{"Workload", "System", "read-input (ms)", "compute (ms)", "transfer (ms)", "fan-in wait (ms)"},
-		Notes: []string{
-			"paper: AS read-input 6.9-8.1x slower than Faastlane (rust-fatfs vs ext4);",
-			"AS transfer and FC stages negligible under reference passing",
-		},
+	rep := o.newResult("fig15", "end-to-end latency breakdown (paper Fig 15)")
+	rep.Header = []string{"Workload", "System", "read-input (ms)", "compute (ms)", "transfer (ms)", "fan-in wait (ms)"}
+	rep.Notes = []string{
+		"paper: AS read-input 6.9-8.1x slower than Faastlane (rust-fatfs vs ext4);",
+		"AS transfer and FC stages negligible under reference passing",
 	}
 	v := newAlloyVisor()
 	for _, c := range configs {
 		size := o.size(c.paperSize)
+		key := c.key(size)
 		asRes, err := runAlloyConfig(o, v, c, "native", size, nil)
 		if err != nil {
 			return nil, fmt.Errorf("fig15 AS %s: %w", c.label(size), err)
 		}
-		rep.Rows = append(rep.Rows, breakdownRow(c.label(size), "AlloyStack", asRes.Clock))
+		rep.Rows = append(rep.Rows, breakdownRow(rep, key, c.label(size), "AlloyStack", LowerIsBetter, asRes.Clock))
 		flRes, err := runBaseline(o, baselines.SysFaastlaneRefer, "native",
 			c.workflow("native", size), c.inputs(size))
 		if err != nil {
 			return nil, fmt.Errorf("fig15 Faastlane %s: %w", c.label(size), err)
 		}
-		rep.Rows = append(rep.Rows, breakdownRow("", "Faastlane-refer", flRes.Clock))
+		rep.Rows = append(rep.Rows, breakdownRow(rep, key, "", "Faastlane-refer", Informational, flRes.Clock))
 		fmRes, err := runBaseline(o, baselines.SysFaasm, "c",
 			c.workflow("c", size), c.inputs(size))
 		if err != nil {
 			return nil, fmt.Errorf("fig15 Faasm %s: %w", c.label(size), err)
 		}
-		rep.Rows = append(rep.Rows, breakdownRow("", "Faasm-C", fmRes.Clock))
+		rep.Rows = append(rep.Rows, breakdownRow(rep, key, "", "Faasm-C", Informational, fmRes.Clock))
 	}
 	return emit(o, rep), nil
 }
 
-func breakdownRow(label, system string, clock *metrics.StageClock) []string {
+// breakdownRow renders one system's stage breakdown, recording each
+// stage total as a typed metric along the way.
+func breakdownRow(rep *Result, key, label, system string, dir Direction, clock *metrics.StageClock) []string {
+	cell := func(stage metrics.Stage) string {
+		return rep.msCell(metricKey(stage.String()+"_ms", key, system), dir, clock.Total(stage))
+	}
 	return []string{
 		label, system,
-		ms(clock.Total(metrics.StageReadInput)),
-		ms(clock.Total(metrics.StageCompute)),
-		ms(clock.Total(metrics.StageTransfer)),
-		ms(clock.Total(metrics.StageWait)),
+		cell(metrics.StageReadInput),
+		cell(metrics.StageCompute),
+		cell(metrics.StageTransfer),
+		cell(metrics.StageWait),
 	}
 }
 
 // Fig16 removes the filesystem difference by running on ramfs
 // (paper Figure 16): ParallelSorting 25MB, 1/3/5 instances.
-func Fig16(o Options) (*Report, error) {
+func Fig16(o Options) (*Result, error) {
 	o = o.withDefaults()
 	size := o.size(25 << 20)
-	rep := &Report{
-		ID:     "fig16",
-		Title:  "end-to-end latency on ramfs (paper Fig 16)",
-		Header: []string{"Instances", "AS-ramfs (ms)", "Faastlane-refer-kata (ms)"},
-		Notes: []string{
-			"paper: with filesystem differences removed AlloyStack still leads slightly",
-			"(hardware virtualisation reduces the MicroVM's computation efficiency)",
-		},
+	rep := o.newResult("fig16", "end-to-end latency on ramfs (paper Fig 16)")
+	rep.Header = []string{"Instances", "AS-ramfs (ms)", "Faastlane-refer-kata (ms)"}
+	rep.Notes = []string{
+		"paper: with filesystem differences removed AlloyStack still leads slightly",
+		"(hardware virtualisation reduces the MicroVM's computation efficiency)",
 	}
 	v := newAlloyVisor()
 	for _, inst := range []int{1, 3, 5} {
@@ -400,7 +408,9 @@ func Fig16(o Options) (*Report, error) {
 			return nil, fmt.Errorf("fig16 kata x%d: %w", inst, err)
 		}
 		rep.Rows = append(rep.Rows, []string{
-			fmt.Sprint(inst), ms(asRes.E2E), ms(klRes.E2E),
+			fmt.Sprint(inst),
+			rep.msCell(fmt.Sprintf("e2e_ms/x%d/AS-ramfs", inst), LowerIsBetter, asRes.E2E),
+			rep.msCell(fmt.Sprintf("e2e_ms/x%d/kata", inst), Informational, klRes.E2E),
 		})
 	}
 	return emit(o, rep), nil

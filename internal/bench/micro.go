@@ -23,7 +23,7 @@ import (
 // Table1 traces which as-libos modules each ServerlessBench-style
 // function pulls in, reproducing the paper's Table 1 with this
 // repository's module set (Table 2 names).
-func Table1(o Options) (*Report, error) {
+func Table1(o Options) (*Result, error) {
 	o = o.withDefaults()
 	reg := visor.NewRegistry()
 	hub := netstack.NewHub()
@@ -139,11 +139,8 @@ func Table1(o Options) (*Report, error) {
 		}},
 	}
 
-	rep := &Report{
-		ID:     "table1",
-		Title:  "as-libos modules loaded per serverless function (paper Table 1)",
-		Header: []string{"Function", "Loaded modules"},
-	}
+	rep := o.newResult("table1", "as-libos modules loaded per serverless function (paper Table 1)")
+	rep.Header = []string{"Function", "Loaded modules"}
 	for _, p := range probes {
 		reg.RegisterNative(p.name, p.fn)
 		v := visor.New(reg)
@@ -172,6 +169,9 @@ func Table1(o Options) (*Report, error) {
 			return nil, fmt.Errorf("trace %s: %w", p.name, err)
 		}
 		rep.Rows = append(rep.Rows, []string{p.name, strings.Join(mods, ", ")})
+		// On-demand loading is the point of Table 1: a probe pulling in
+		// more modules than the baseline recording is a regression.
+		rep.gauge(metricKey("modules", p.name), "count", LowerIsBetter, float64(len(mods)))
 	}
 	return emit(o, rep), nil
 }
@@ -194,57 +194,60 @@ func traceModules(o Options, fn visor.NativeFunc, ip netstack.Addr, hub *netstac
 // Fig2 prints the software-stack startup comparison (paper Figure 2):
 // modelled constants for the hardware-gated stacks, measured latency for
 // AlloyStack.
-func Fig2(o Options) (*Report, error) {
+func Fig2(o Options) (*Result, error) {
 	o = o.withDefaults()
 	costs := baselines.DefaultCosts()
 	asCold, err := measureASColdStart(o, false, false)
 	if err != nil {
 		return nil, err
 	}
-	rep := &Report{
-		ID:     "fig2",
-		Title:  "startup latency across software stacks (paper Fig 2)",
-		Header: []string{"Stack", "Startup (ms)", "Source"},
-		Rows: [][]string{
-			{"MicroVM (device model + guest kernel)", ms(costs.MicroVMBoot), "model [paper 1186ms]"},
-			{"Unikernel (Unikraft/Firecracker)", ms(costs.UnikraftBoot), "model [paper 137ms]"},
-			{"Virtines (KVM, no guest kernel)", ms(costs.VirtinesBoot), "model [paper 22.8ms]"},
-			{"AlloyStack WFD (on-demand LibOS)", ms(asCold), "measured"},
-		},
+	rep := o.newResult("fig2", "startup latency across software stacks (paper Fig 2)")
+	rep.Header = []string{"Stack", "Startup (ms)", "Source"}
+	rep.Rows = [][]string{
+		{"MicroVM (device model + guest kernel)",
+			rep.msCell("startup_ms/microvm", Informational, costs.MicroVMBoot), "model [paper 1186ms]"},
+		{"Unikernel (Unikraft/Firecracker)",
+			rep.msCell("startup_ms/unikernel", Informational, costs.UnikraftBoot), "model [paper 137ms]"},
+		{"Virtines (KVM, no guest kernel)",
+			rep.msCell("startup_ms/virtines", Informational, costs.VirtinesBoot), "model [paper 22.8ms]"},
+		{"AlloyStack WFD (on-demand LibOS)",
+			rep.msCell("startup_ms/alloystack", LowerIsBetter, asCold), "measured"},
 	}
 	return emit(o, rep), nil
 }
 
 // Fig3 measures the four communication primitives of §2.3 across sizes.
-func Fig3(o Options) (*Report, error) {
+func Fig3(o Options) (*Result, error) {
 	o = o.withDefaults()
 	sizes := []int64{o.size(4 << 10), o.size(1 << 20), o.size(16 << 20), o.size(64 << 20)}
-	rep := &Report{
-		ID:    "fig3",
-		Title: "communication primitive latency (paper Fig 3)",
-		Header: []string{"Size", "Inter-VM TCP (us)", "Inter-Proc TCP (us)",
-			"Shared Memory (us)", "Function Call (us)"},
-		Notes: []string{
-			"function call and shared memory run real code; TCP rows use the host loopback;",
-			"the Inter-VM row adds the modelled virtualisation cost per transfer.",
-		},
+	rep := o.newResult("fig3", "communication primitive latency (paper Fig 3)")
+	rep.Header = []string{"Size", "Inter-VM TCP (us)", "Inter-Proc TCP (us)",
+		"Shared Memory (us)", "Function Call (us)"}
+	rep.Notes = []string{
+		"function call and shared memory run real code; TCP rows use the host loopback;",
+		"the Inter-VM row adds the modelled virtualisation cost per transfer.",
 	}
 	for _, size := range sizes {
-		ivtcp, err := measureLoopbackTCP(size, true, o.CostScale)
+		ivtcp, err := measureLoopbackTCP(size, true, o.CostScale, o.Clock)
 		if err != nil {
 			return nil, err
 		}
-		iptcp, err := measureLoopbackTCP(size, false, o.CostScale)
+		iptcp, err := measureLoopbackTCP(size, false, o.CostScale, o.Clock)
 		if err != nil {
 			return nil, err
 		}
-		shm, err := measureSharedMemory(size)
+		shm, err := measureSharedMemory(size, o.Clock)
 		if err != nil {
 			return nil, err
 		}
-		fc := measureFunctionCall(size)
+		fc := measureFunctionCall(size, o.Clock)
+		label := humanBytes(size)
 		rep.Rows = append(rep.Rows, []string{
-			humanBytes(size), us(ivtcp), us(iptcp), us(shm), us(fc),
+			label,
+			rep.usCell(metricKey("intervm_tcp_us", label), LowerIsBetter, ivtcp),
+			rep.usCell(metricKey("interproc_tcp_us", label), LowerIsBetter, iptcp),
+			rep.usCell(metricKey("shared_memory_us", label), LowerIsBetter, shm),
+			rep.usCell(metricKey("function_call_us", label), LowerIsBetter, fc),
 		})
 	}
 	return emit(o, rep), nil
@@ -252,7 +255,7 @@ func Fig3(o Options) (*Report, error) {
 
 // measureLoopbackTCP transfers size bytes over a fresh host-loopback TCP
 // connection. vm=true adds the modelled inter-VM virtualisation costs.
-func measureLoopbackTCP(size int64, vm bool, costScale float64) (time.Duration, error) {
+func measureLoopbackTCP(size int64, vm bool, costScale float64, now func() time.Time) (time.Duration, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return 0, err
@@ -278,7 +281,7 @@ func measureLoopbackTCP(size int64, vm bool, costScale float64) (time.Duration, 
 		}
 		done <- nil
 	}()
-	start := time.Now()
+	start := now()
 	c, err := net.Dial("tcp", ln.Addr().String())
 	if err != nil {
 		return 0, err
@@ -291,7 +294,7 @@ func measureLoopbackTCP(size int64, vm bool, costScale float64) (time.Duration, 
 		return 0, err
 	}
 	c.Close()
-	d := time.Since(start)
+	d := now().Sub(start)
 	if vm && costScale > 0 {
 		// Virtio queue kicks and VM exits per 64 KiB segment batch plus
 		// connection setup through two guest kernels [est].
@@ -304,7 +307,7 @@ func measureLoopbackTCP(size int64, vm bool, costScale float64) (time.Duration, 
 // measureSharedMemory reproduces the paper's method (3): a pre-shared
 // buffer, a one-byte pipe notification, and a full traversal by the
 // receiver.
-func measureSharedMemory(size int64) (time.Duration, error) {
+func measureSharedMemory(size int64, now func() time.Time) (time.Duration, error) {
 	shared := make([]byte, size)
 	rd, wr, err := os.Pipe()
 	if err != nil {
@@ -326,16 +329,16 @@ func measureSharedMemory(size int64) (time.Duration, error) {
 	for i := range shared {
 		shared[i] = byte(i)
 	}
-	start := time.Now()
+	start := now()
 	wr.Write([]byte{1})
 	<-done
-	return time.Since(start), nil
+	return now().Sub(start), nil
 }
 
 // measureFunctionCall is method (4): the sender writes a buffer and
 // directly invokes the receiver, which traverses it — plain loads and
 // stores in one address space.
-func measureFunctionCall(size int64) time.Duration {
+func measureFunctionCall(size int64, now func() time.Time) time.Duration {
 	buf := make([]byte, size)
 	for i := range buf {
 		buf[i] = byte(i)
@@ -347,10 +350,10 @@ func measureFunctionCall(size int64) time.Duration {
 		}
 		return sum
 	}
-	start := time.Now()
+	start := now()
 	sink := receiver(buf)
 	_ = sink
-	return time.Since(start)
+	return now().Sub(start)
 }
 
 // measureASColdStart instantiates a no-ops workflow and reports the
@@ -398,7 +401,7 @@ func measureASColdStart(o Options, loadAll bool, python bool) (time.Duration, er
 }
 
 // Fig10 reproduces the cold-start comparison.
-func Fig10(o Options) (*Report, error) {
+func Fig10(o Options) (*Result, error) {
 	o = o.withDefaults()
 	asCold, err := measureASColdStart(o, false, false)
 	if err != nil {
@@ -412,15 +415,12 @@ func Fig10(o Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep := &Report{
-		ID:     "fig10",
-		Title:  "cold start latency (paper Fig 10)",
-		Header: []string{"System", "Cold start (ms)", "Source"},
-	}
+	rep := o.newResult("fig10", "cold start latency (paper Fig 10)")
+	rep.Header = []string{"System", "Cold start (ms)", "Source"}
 	rep.Rows = append(rep.Rows,
-		[]string{"AlloyStack", ms(asCold), "measured [paper 1.3ms]"},
-		[]string{"AS-load-all", ms(loadAll), "measured [paper 89.4ms]"},
-		[]string{"AS-Py", ms(asPy), "measured (runtime image via fatfs)"},
+		[]string{"AlloyStack", rep.msCell("cold_ms/AlloyStack", LowerIsBetter, asCold), "measured [paper 1.3ms]"},
+		[]string{"AS-load-all", rep.msCell("cold_ms/AS-load-all", LowerIsBetter, loadAll), "measured [paper 89.4ms]"},
+		[]string{"AS-Py", rep.msCell("cold_ms/AS-Py", LowerIsBetter, asPy), "measured (runtime image via fatfs)"},
 	)
 	models := baselines.ColdStartOnly(baselines.DefaultCosts())
 	names := make([]string, 0, len(models))
@@ -429,7 +429,9 @@ func Fig10(o Options) (*Report, error) {
 	}
 	sort.Slice(names, func(i, j int) bool { return models[names[i]] < models[names[j]] })
 	for _, n := range names {
-		rep.Rows = append(rep.Rows, []string{n, ms(time.Duration(float64(models[n]) * o.CostScale)), "model"})
+		rep.Rows = append(rep.Rows, []string{n,
+			rep.msCell(metricKey("cold_ms", n), Informational,
+				time.Duration(float64(models[n])*o.CostScale)), "model"})
 	}
 	rep.Notes = append(rep.Notes,
 		fmt.Sprintf("on-demand saving: load-all %.1fms vs on-demand %.1fms (paper: 89.4 vs 1.3)",
@@ -439,43 +441,47 @@ func Fig10(o Options) (*Report, error) {
 
 // Table4 measures the LibOS substrates against the host-kernel paths:
 // fatfs vs ext4-model and the userspace netstack vs real loopback TCP.
-func Table4(o Options) (*Report, error) {
+func Table4(o Options) (*Result, error) {
 	o = o.withDefaults()
 	const fileSize = 32 << 20
-	fatRead, fatWrite, err := measureFatfsThroughput(fileSize)
+	fatRead, fatWrite, err := measureFatfsThroughput(fileSize, o.Clock)
 	if err != nil {
 		return nil, err
 	}
-	rxBps, txBps, err := measureNetstackThroughput(16 << 20)
+	rxBps, txBps, err := measureNetstackThroughput(16<<20, o.Clock)
 	if err != nil {
 		return nil, err
 	}
-	loopRx, err := measureLoopbackThroughput(16 << 20)
+	loopRx, err := measureLoopbackThroughput(16<<20, o.Clock)
 	if err != nil {
 		return nil, err
 	}
 	costs := baselines.DefaultCosts()
 	mbps := func(bps float64) string { return fmt.Sprintf("%.0f", bps/(1<<20)) }
 	gbps := func(bps float64) string { return fmt.Sprintf("%.3f", bps*8/1e9) }
-	rep := &Report{
-		ID:     "table4",
-		Title:  "LibOS substrate performance vs host kernel (paper Table 4)",
-		Header: []string{"Layer", "Module", "Read/RX", "Write/TX", "Unit"},
-		Rows: [][]string{
-			{"File system", "fatfs (measured)", mbps(fatRead), mbps(fatWrite), "MB/s"},
-			{"File system", "ext4 (model)", mbps(float64(costs.Ext4ReadBps)), mbps(float64(costs.Ext4WriteBps)), "MB/s"},
-			{"TCP", "netstack (measured)", gbps(rxBps), gbps(txBps), "Gbit/s"},
-			{"TCP", "host loopback (measured)", gbps(loopRx), gbps(loopRx), "Gbit/s"},
-		},
-		Notes: []string{
-			"paper: rust-fatfs 362/1562 MB/s vs ext4 1351/1282; smoltcp 1.751/5.366 Gbit/s vs Linux 27.76/28.56",
-			"shape check: the LibOS filesystem and TCP stack are slower than the kernel paths",
-		},
+	rep := o.newResult("table4", "LibOS substrate performance vs host kernel (paper Table 4)")
+	rep.Header = []string{"Layer", "Module", "Read/RX", "Write/TX", "Unit"}
+	rep.Rows = [][]string{
+		{"File system", "fatfs (measured)", mbps(fatRead), mbps(fatWrite), "MB/s"},
+		{"File system", "ext4 (model)", mbps(float64(costs.Ext4ReadBps)), mbps(float64(costs.Ext4WriteBps)), "MB/s"},
+		{"TCP", "netstack (measured)", gbps(rxBps), gbps(txBps), "Gbit/s"},
+		{"TCP", "host loopback (measured)", gbps(loopRx), gbps(loopRx), "Gbit/s"},
 	}
+	rep.Notes = []string{
+		"paper: rust-fatfs 362/1562 MB/s vs ext4 1351/1282; smoltcp 1.751/5.366 Gbit/s vs Linux 27.76/28.56",
+		"shape check: the LibOS filesystem and TCP stack are slower than the kernel paths",
+	}
+	// Throughputs gate in the opposite direction from latencies: a drop
+	// below the noise band is the regression.
+	rep.gauge("fatfs_read_MBps", "MB/s", HigherIsBetter, fatRead/(1<<20))
+	rep.gauge("fatfs_write_MBps", "MB/s", HigherIsBetter, fatWrite/(1<<20))
+	rep.gauge("netstack_rx_Gbps", "Gbit/s", HigherIsBetter, rxBps*8/1e9)
+	rep.gauge("netstack_tx_Gbps", "Gbit/s", HigherIsBetter, txBps*8/1e9)
+	rep.gauge("loopback_Gbps", "Gbit/s", Informational, loopRx*8/1e9)
 	return emit(o, rep), nil
 }
 
-func measureFatfsThroughput(size int64) (readBps, writeBps float64, err error) {
+func measureFatfsThroughput(size int64, now func() time.Time) (readBps, writeBps float64, err error) {
 	// Measure through the same shaped device workloads mount (the
 	// calibration that keeps fatfs at the paper's Table 4 read speed).
 	dev := workloads.ShapeImage(blockdev.NewMemDisk(size*2 + (16 << 20)))
@@ -488,21 +494,21 @@ func measureFatfsThroughput(size int64) (readBps, writeBps float64, err error) {
 	if err != nil {
 		return 0, 0, err
 	}
-	start := time.Now()
+	start := now()
 	if _, err := f.WriteAt(payload, 0); err != nil {
 		return 0, 0, err
 	}
-	writeBps = float64(size) / time.Since(start).Seconds()
+	writeBps = float64(size) / now().Sub(start).Seconds()
 	buf := make([]byte, size)
-	start = time.Now()
+	start = now()
 	if _, err := f.ReadAt(buf, 0); err != nil && !errors.Is(err, io.EOF) {
 		return 0, 0, err
 	}
-	readBps = float64(size) / time.Since(start).Seconds()
+	readBps = float64(size) / now().Sub(start).Seconds()
 	return readBps, writeBps, nil
 }
 
-func measureNetstackThroughput(size int64) (rxBps, txBps float64, err error) {
+func measureNetstackThroughput(size int64, now func() time.Time) (rxBps, txBps float64, err error) {
 	hub := netstack.NewHub()
 	n1, err := hub.Attach(netstack.IP(10, 66, 0, 1))
 	if err != nil {
@@ -543,7 +549,7 @@ func measureNetstackThroughput(size int64) (rxBps, txBps float64, err error) {
 		return 0, 0, err
 	}
 	chunk := make([]byte, 256*1024)
-	start := time.Now()
+	start := now()
 	var sent int64
 	for sent < size {
 		n, err := c.Write(chunk)
@@ -555,14 +561,14 @@ func measureNetstackThroughput(size int64) (rxBps, txBps float64, err error) {
 	if err := <-done; err != nil {
 		return 0, 0, err
 	}
-	elapsed := time.Since(start).Seconds()
+	elapsed := now().Sub(start).Seconds()
 	bps := float64(size) / elapsed
 	// One-directional stream: RX and TX observe the same goodput.
 	return bps, bps, nil
 }
 
-func measureLoopbackThroughput(size int64) (float64, error) {
-	d, err := measureLoopbackTCP(size, false, 0)
+func measureLoopbackThroughput(size int64, now func() time.Time) (float64, error) {
+	d, err := measureLoopbackTCP(size, false, 0, now)
 	if err != nil {
 		return 0, err
 	}
@@ -572,7 +578,7 @@ func measureLoopbackThroughput(size int64) (float64, error) {
 // Engines is the extra ablation explaining Figure 13's Wasmtime/WAVM
 // gap: the same guest program under interpreter, AOT-with-overhead
 // (Wasmtime model) and plain AOT (WAVM model).
-func Engines(o Options) (*Report, error) {
+func Engines(o Options) (*Result, error) {
 	o = o.withDefaults()
 	prog := asvm.MustAssemble(`
 memory 4096
@@ -608,11 +614,11 @@ end
 		if err != nil {
 			return 0, err
 		}
-		start := time.Now()
+		start := o.now()
 		if _, err := inst.Call("spin", iters); err != nil {
 			return 0, err
 		}
-		return time.Since(start), nil
+		return o.since(start), nil
 	}
 	aot, err := run(asvm.EngineAOT, 1.0)
 	if err != nil {
@@ -626,18 +632,17 @@ end
 	if err != nil {
 		return nil, err
 	}
-	rep := &Report{
-		ID:     "engines",
-		Title:  "guest engine ablation (explains Fig 13's Wasmtime vs WAVM gap)",
-		Header: []string{"Engine", "Time (ms)", "vs WAVM-model"},
-		Rows: [][]string{
-			{"AOT factor 1.0 (WAVM/LLVM model)", ms(aot), "1.00x"},
-			{"AOT factor 1.3 (Wasmtime/Cranelift model)", ms(wasmtime),
-				fmt.Sprintf("%.2fx", float64(wasmtime)/float64(aot))},
-			{"Interpreter (Python-tier bytecode)", ms(interp),
-				fmt.Sprintf("%.2fx", float64(interp)/float64(aot))},
-		},
-		Notes: []string{"paper §8.5: Wasmtime measured ≈30% slower than WAVM"},
+	rep := o.newResult("engines", "guest engine ablation (explains Fig 13's Wasmtime vs WAVM gap)")
+	rep.Header = []string{"Engine", "Time (ms)", "vs WAVM-model"}
+	rep.Rows = [][]string{
+		{"AOT factor 1.0 (WAVM/LLVM model)", rep.msCell("engine_ms/wavm", LowerIsBetter, aot), "1.00x"},
+		{"AOT factor 1.3 (Wasmtime/Cranelift model)", rep.msCell("engine_ms/wasmtime", LowerIsBetter, wasmtime),
+			fmt.Sprintf("%.2fx", float64(wasmtime)/float64(aot))},
+		{"Interpreter (Python-tier bytecode)", rep.msCell("engine_ms/interp", LowerIsBetter, interp),
+			fmt.Sprintf("%.2fx", float64(interp)/float64(aot))},
 	}
+	rep.Notes = []string{"paper §8.5: Wasmtime measured ≈30% slower than WAVM"}
+	rep.gauge("engine_ratio/wasmtime", "x", Informational, float64(wasmtime)/float64(aot))
+	rep.gauge("engine_ratio/interp", "x", Informational, float64(interp)/float64(aot))
 	return emit(o, rep), nil
 }

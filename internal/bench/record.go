@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// BenchFileName is the on-disk name for a recorded experiment result.
+// The BENCH_ prefix keeps the files greppable and lets CI glob them for
+// artifact upload without knowing the experiment list.
+func BenchFileName(id string) string {
+	return "BENCH_" + id + ".json"
+}
+
+// WriteResult records r as BENCH_<id>.json under dir, stamping the
+// recording timestamp and — when the build info did not embed one — the
+// git revision of the working tree. Files are written atomically
+// (temp + rename) so a crashed run never leaves a torn baseline.
+func WriteResult(dir string, r *Result) (string, error) {
+	if r == nil || r.ID == "" {
+		return "", fmt.Errorf("bench: cannot record a result without an ID")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	r.Env.RecordedAt = wallNow().UTC().Format(time.RFC3339)
+	if r.Env.GitSHA == "" {
+		r.Env.GitSHA = gitHeadSHA()
+	}
+	blob, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	blob = append(blob, '\n')
+	path := filepath.Join(dir, BenchFileName(r.ID))
+	tmp, err := os.CreateTemp(dir, ".bench-*")
+	if err != nil {
+		return "", err
+	}
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return "", err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return "", err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return "", err
+	}
+	return path, nil
+}
+
+// ReadResult loads a recorded BENCH_*.json file.
+func ReadResult(path string) (*Result, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Result
+	dec := json.NewDecoder(bytes.NewReader(blob))
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if r.ID == "" {
+		return nil, fmt.Errorf("bench: %s: missing result ID", path)
+	}
+	return &r, nil
+}
+
+// gitHeadSHA asks the working tree for HEAD when the binary was not
+// stamped with a VCS revision (`go run` and test binaries are not).
+// Best-effort: an empty string means "unknown", not an error.
+func gitHeadSHA() string {
+	out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}

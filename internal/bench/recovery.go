@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"alloystack/internal/faults"
@@ -9,22 +10,22 @@ import (
 	"alloystack/internal/workloads"
 )
 
+// recoveryRuns is the per-arm sample count; the median run is reported.
+const recoveryRuns = 3
+
 // Recovery measures restart-based fault recovery (paper §3.1): each
 // workflow runs clean and then under a seeded fault plan that panics
 // one function per instance, so the reported delta is the price of
 // detecting the fault, backing off and restarting inside a live WFD —
 // the intermediate data survives, so recovery is re-execution of the
 // failed function only, not the whole workflow.
-func Recovery(o Options) (*Report, error) {
+func Recovery(o Options) (*Result, error) {
 	o = o.withDefaults()
-	r := &Report{
-		ID:     "recovery",
-		Title:  "fault recovery latency (injected panic + retry, §3.1)",
-		Header: []string{"workload", "clean", "faulted", "overhead", "retries", "backoff-wait"},
-		Notes: []string{
-			"fault plan: every instance of the target function panics once (PanicEvery N=2)",
-			"retry policy: base 2ms, x2, cap 8ms, 20% jitter, seed 1",
-		},
+	r := o.newResult("recovery", "fault recovery latency (injected panic + retry, §3.1)")
+	r.Header = []string{"workload", "clean", "faulted", "overhead", "retries", "backoff-wait"}
+	r.Notes = []string{
+		"fault plan: every instance of the target function panics once (PanicEvery N=2)",
+		"retry policy: base 2ms, x2, cap 8ms, 20% jitter, seed 1",
 	}
 
 	policy := &faults.RetryPolicy{
@@ -53,13 +54,28 @@ func Recovery(o Options) (*Report, error) {
 			ro.Faults = plan
 			return ro, nil
 		}
-		clean, err = runAlloy(o, v, workflow, func() (visor.RunOptions, error) {
+		// A single run's E2E is one scheduler quantum away from 2x noise
+		// on a busy machine; each arm reports its median-E2E run of
+		// three so the recorded metrics are stable enough to gate on.
+		medianRun := func(build func() (visor.RunOptions, error)) (*visor.RunResult, error) {
+			results := make([]*visor.RunResult, 0, recoveryRuns)
+			for i := 0; i < recoveryRuns; i++ {
+				res, err := runAlloy(o, v, workflow, build)
+				if err != nil {
+					return nil, err
+				}
+				results = append(results, res)
+			}
+			sort.Slice(results, func(i, j int) bool { return results[i].E2E < results[j].E2E })
+			return results[len(results)/2], nil
+		}
+		clean, err = medianRun(func() (visor.RunOptions, error) {
 			return build2(nil)
 		})
 		if err != nil {
 			return nil, nil, fmt.Errorf("clean %s: %w", wfName, err)
 		}
-		faulted, err = runAlloy(o, v, workflow, func() (visor.RunOptions, error) {
+		faulted, err = medianRun(func() (visor.RunOptions, error) {
 			return build2(faults.NewPlan(1, faults.PanicEvery{Func: target, N: 2}))
 		})
 		if err != nil {
@@ -92,13 +108,17 @@ func Recovery(o Options) (*Report, error) {
 			return nil, err
 		}
 		overhead := faulted.E2E - clean.E2E
+		key := metricKey(sc.wfName, sc.target)
+		// The gate rides on clean latency and the deterministic fault
+		// plan (retry count, seeded backoff); overhead is the difference
+		// of two noisy measurements, so it informs but never gates.
 		r.Rows = append(r.Rows, []string{
 			sc.wfName + "/" + sc.target,
-			ms(clean.E2E),
-			ms(faulted.E2E),
-			ms(overhead),
-			fmt.Sprint(faulted.Retries),
-			ms(faulted.RetryWait),
+			r.msCell(metricKey("clean_ms", key), LowerIsBetter, clean.E2E),
+			r.msCell(metricKey("faulted_ms", key), Informational, faulted.E2E),
+			r.msCell(metricKey("overhead_ms", key), Informational, overhead),
+			r.countCell(metricKey("retries", key), LowerIsBetter, int64(faulted.Retries)),
+			r.msCell(metricKey("backoff_wait_ms", key), LowerIsBetter, faulted.RetryWait),
 		})
 	}
 	return emit(o, r), nil

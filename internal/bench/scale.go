@@ -15,7 +15,7 @@ import (
 // Appendix Figure 17a): ParallelSorting (25 MB scaled, 3 instances) on
 // AlloyStack vs Faastlane-refer-kata, closed-loop with K concurrent
 // clients per level.
-func Fig17a(o Options) (*Report, error) {
+func Fig17a(o Options) (*Result, error) {
 	o = o.withDefaults()
 	size := o.size(25 << 20)
 	// Concurrency levels stand in for the paper's QPS sweep; each level
@@ -23,14 +23,11 @@ func Fig17a(o Options) (*Report, error) {
 	levels := []int{1, 2, 4, 8}
 	perLevel := 3 * o.Iterations
 
-	rep := &Report{
-		ID:     "fig17a",
-		Title:  "tail latency under load (paper Fig 17a)",
-		Header: []string{"Concurrency", "AS P50 (ms)", "AS P99 (ms)", "Kata P50 (ms)", "Kata P99 (ms)"},
-		Notes: []string{
-			"paper: Faastlane-refer-kata P99 grows sharply with QPS (rootfs and cgroup",
-			"bottlenecks); AlloyStack degrades only at CPU saturation",
-		},
+	rep := o.newResult("fig17a", "tail latency under load (paper Fig 17a)")
+	rep.Header = []string{"Concurrency", "AS P50 (ms)", "AS P99 (ms)", "Kata P50 (ms)", "Kata P99 (ms)"}
+	rep.Notes = []string{
+		"paper: Faastlane-refer-kata P99 grows sharply with QPS (rootfs and cgroup",
+		"bottlenecks); AlloyStack degrades only at CPU saturation",
 	}
 
 	v := newAlloyVisor()
@@ -43,10 +40,14 @@ func Fig17a(o Options) (*Report, error) {
 		if err != nil {
 			return nil, fmt.Errorf("fig17a kata level %d: %w", level, err)
 		}
+		rep.Snapshot.AddLatency(fmt.Sprintf("as_c%d", level), asSum)
+		rep.Snapshot.AddLatency(fmt.Sprintf("kata_c%d", level), kataSum)
 		rep.Rows = append(rep.Rows, []string{
 			fmt.Sprint(level),
-			ms(asSum.P50), ms(asSum.P99),
-			ms(kataSum.P50), ms(kataSum.P99),
+			rep.msCell(fmt.Sprintf("p50_ms/c%d/AS", level), LowerIsBetter, asSum.P50),
+			rep.msCell(fmt.Sprintf("p99_ms/c%d/AS", level), LowerIsBetter, asSum.P99),
+			rep.msCell(fmt.Sprintf("p50_ms/c%d/kata", level), Informational, kataSum.P50),
+			rep.msCell(fmt.Sprintf("p99_ms/c%d/kata", level), Informational, kataSum.P99),
 		})
 	}
 	return emit(o, rep), nil
@@ -71,12 +72,12 @@ func loadSweepAS(o Options, v *visor.Visor, size int64, concurrency, total int) 
 					r.UseRamfs = true
 					r.Ramfs = workloads.BuildBinRamfs(size, false)
 				})
-				start := time.Now()
+				start := o.now()
 				if _, err := v.RunWorkflow(w, ro); err != nil {
 					errCh <- err
 					return
 				}
-				rec.Record(time.Since(start))
+				rec.Record(o.since(start))
 			}
 		}()
 	}
@@ -117,7 +118,7 @@ func loadSweepBaseline(o Options, size int64, concurrency, total int) (metrics.S
 					errCh <- err
 					return
 				}
-				start := time.Now()
+				start := o.now()
 				_, err = r.RunWorkflow(w)
 				r.Close()
 				if err != nil {
@@ -134,7 +135,7 @@ func loadSweepBaseline(o Options, size int64, concurrency, total int) (metrics.S
 					time.Sleep(d)
 					contendMu.Unlock()
 				}
-				rec.Record(time.Since(start))
+				rec.Record(o.since(start))
 			}
 		}()
 	}
@@ -149,19 +150,16 @@ func loadSweepBaseline(o Options, size int64, concurrency, total int) (metrics.S
 // Fig17b reports CPU and memory usage as workflow instances scale
 // (paper Appendix Figure 17b), ParallelSorting 25 MB scaled, 5 instances
 // per stage.
-func Fig17b(o Options) (*Report, error) {
+func Fig17b(o Options) (*Result, error) {
 	o = o.withDefaults()
 	size := o.size(25 << 20)
 	counts := []int{1, 2, 4, 8}
-	rep := &Report{
-		ID:     "fig17b",
-		Title:  "CPU and memory usage vs workflow instances (paper Fig 17b)",
-		Header: []string{"Workflows", "AS CPU (ms)", "AS mem", "Kata CPU (ms)", "Kata mem"},
-		Notes: []string{
-			"paper: AlloyStack reduces CPU 2.4x and memory 3.2x vs Faastlane-refer-kata;",
-			"the MicroVM rows add the guest kernel's fixed footprint per workflow",
-			"(128 MiB resident guest kernel + page tables [est]) and its boot CPU time",
-		},
+	rep := o.newResult("fig17b", "CPU and memory usage vs workflow instances (paper Fig 17b)")
+	rep.Header = []string{"Workflows", "AS CPU (ms)", "AS mem", "Kata CPU (ms)", "Kata mem"}
+	rep.Notes = []string{
+		"paper: AlloyStack reduces CPU 2.4x and memory 3.2x vs Faastlane-refer-kata;",
+		"the MicroVM rows add the guest kernel's fixed footprint per workflow",
+		"(128 MiB resident guest kernel + page tables [est]) and its boot CPU time",
 	}
 	costs := baselines.DefaultCosts()
 	const guestKernelFootprint = int64(128 << 20)
@@ -230,10 +228,14 @@ func Fig17b(o Options) (*Report, error) {
 		}
 		r.Close()
 
+		rep.gauge(fmt.Sprintf("mem_bytes/n%d/AS", n), "bytes", LowerIsBetter, float64(asMem))
+		rep.gauge(fmt.Sprintf("mem_bytes/n%d/kata", n), "bytes", Informational, float64(kataMem))
 		rep.Rows = append(rep.Rows, []string{
 			fmt.Sprint(n),
-			ms(asCPU), metrics.FormatBytes(asMem),
-			ms(kataCPU), metrics.FormatBytes(kataMem),
+			rep.msCell(fmt.Sprintf("cpu_ms/n%d/AS", n), LowerIsBetter, asCPU),
+			metrics.FormatBytes(asMem),
+			rep.msCell(fmt.Sprintf("cpu_ms/n%d/kata", n), Informational, kataCPU),
+			metrics.FormatBytes(kataMem),
 		})
 	}
 	return emit(o, rep), nil

@@ -109,6 +109,10 @@ func TestWallClockJournalFixtures(t *testing.T) {
 	runFixture(t, "alloystack__internal__journal", WallClock)
 }
 
+func TestWallClockBenchFixtures(t *testing.T) {
+	runFixture(t, "alloystack__internal__bench", WallClock)
+}
+
 func TestWallClockOutOfScopePackageExempt(t *testing.T) {
 	// senterr_user calls time.Now freely; wallclock only scopes the
 	// determinism-critical packages, so it must stay silent here. The

@@ -1,0 +1,38 @@
+// Package bench (fixture): the directory name claims the
+// determinism-critical import path alloystack/internal/bench, so
+// wallclock applies to its measurement loops. Experiments must time
+// workflows on the injected Options.Clock; the single approved
+// wall-clock read is the default-clock/recorder funnel, waived in
+// place.
+package bench
+
+import "time"
+
+type options struct {
+	Clock func() time.Time
+}
+
+func badMeasurementLoop(work func()) time.Duration {
+	start := time.Now() // want "wall-clock read time.Now in determinism-critical package"
+	work()
+	return time.Since(start) // want "wall-clock read time.Since in determinism-critical package"
+}
+
+func goodInjectedClock(o options, work func()) time.Duration {
+	start := o.Clock()
+	work()
+	return o.Clock().Sub(start)
+}
+
+// wallNow mirrors the real package's single approved injection point:
+// the default Options.Clock and the recorder's RecordedAt timestamp.
+func wallNow() time.Time {
+	return time.Now() //asvet:allow wallclock -- default clock + recorder timestamp
+}
+
+func goodDefaulting(o options) options {
+	if o.Clock == nil {
+		o.Clock = wallNow
+	}
+	return o
+}

@@ -26,6 +26,11 @@ var WallClock = &Analyzer{
 // wallclockScope maps each determinism-critical package to the file
 // prefix the check applies to ("" = every file in the package).
 var wallclockScope = map[string]string{
+	// Measurement loops time workflows on the injected Options.Clock so
+	// experiments replay under test clocks; the sole wall-clock reads
+	// are the default clock + the recorder's RecordedAt stamp, funneled
+	// through one waived wallNow().
+	"alloystack/internal/bench":  "",
 	"alloystack/internal/faults": "",
 	// The journal must replay byte-identically: record timestamps come
 	// from the injected Options.Clock, never a direct wall-clock read.

@@ -45,11 +45,16 @@ func (r *Recorder) Count() int {
 	return len(r.samples)
 }
 
-// Summary is a percentile digest of a sample set.
+// Summary is a percentile digest of a sample set. Durations marshal as
+// integer nanoseconds, so a recorded summary round-trips exactly.
 type Summary struct {
-	Count          int
-	Min, Max, Mean time.Duration
-	P50, P90, P99  time.Duration
+	Count int           `json:"count"`
+	Min   time.Duration `json:"min_ns"`
+	Max   time.Duration `json:"max_ns"`
+	Mean  time.Duration `json:"mean_ns"`
+	P50   time.Duration `json:"p50_ns"`
+	P90   time.Duration `json:"p90_ns"`
+	P99   time.Duration `json:"p99_ns"`
 }
 
 // Summarize computes the digest. An empty recorder yields a zero Summary.
@@ -184,10 +189,10 @@ func (c *StageClock) Breakdown() map[string]time.Duration {
 // in-place buffer handoff, while store-mediated paths charge one copy
 // per direction.
 type TransportKind struct {
-	Bytes       int64 // payload bytes moved through Send/Recv
-	Copies      int64 // payload copies made end to end
-	Ops         int64 // Send+Recv operations completed
-	SlotsReused int64 // buffers recycled by the pooled allocator
+	Bytes       int64 `json:"bytes"`        // payload bytes moved through Send/Recv
+	Copies      int64 `json:"copies"`       // payload copies made end to end
+	Ops         int64 `json:"ops"`          // Send+Recv operations completed
+	SlotsReused int64 `json:"slots_reused"` // buffers recycled by the pooled allocator
 }
 
 // TransportStats aggregates per-kind transfer counters for one run.
@@ -332,6 +337,46 @@ func (t *TransportStats) CopiesPerByte(kind string) float64 {
 		return 0
 	}
 	return float64(k.Copies) / float64(k.Bytes)
+}
+
+// Snapshot is the JSON-serialisable digest an experiment attaches to
+// its typed result instead of formatting counters inline: latency
+// summaries by name, per-kind transport totals, and subsystem counters
+// (pool hits/forks, journal appends/bytes, scheduler admissions). All
+// fields round-trip exactly through encoding/json, which is what lets
+// BENCH_*.json files serve as regression baselines.
+type Snapshot struct {
+	Latency   map[string]Summary       `json:"latency,omitempty"`
+	Transport map[string]TransportKind `json:"transport,omitempty"`
+	Counters  map[string]int64         `json:"counters,omitempty"`
+}
+
+// AddLatency records a named latency digest.
+func (s *Snapshot) AddLatency(name string, sum Summary) {
+	if s.Latency == nil {
+		s.Latency = make(map[string]Summary)
+	}
+	s.Latency[name] = sum
+}
+
+// AddTransport folds a stats table's per-kind totals into the snapshot.
+func (s *Snapshot) AddTransport(t *TransportStats) {
+	for name, k := range t.Kinds() {
+		if s.Transport == nil {
+			s.Transport = make(map[string]TransportKind)
+		}
+		have := s.Transport[name]
+		have.add(k)
+		s.Transport[name] = have
+	}
+}
+
+// AddCounter accumulates a named subsystem counter.
+func (s *Snapshot) AddCounter(name string, v int64) {
+	if s.Counters == nil {
+		s.Counters = make(map[string]int64)
+	}
+	s.Counters[name] += v
 }
 
 // ResourceMeter aggregates modelled CPU time and peak memory across the

@@ -15,8 +15,18 @@ go run ./cmd/asvet ./...
 go test -short ./...
 go test -race -count=1 ./internal/...
 go run ./examples/tracedemo -o trace.json
-go run ./cmd/asbench -exp coldstart -scale 0.01 | tee coldstart.txt
-# Durability: crash a run at a seeded point, resume it from the journal,
-# and keep the journals + spill segments + flight-recorder dumps as a CI
-# artifact so a failed run can be replayed offline.
-go run ./cmd/asbench -exp crashresume -artifacts journal-artifacts | tee crashresume.txt
+# Perf regression gate: run the cheap experiment subset (includes the
+# coldstart and crash-resume arms), record typed BENCH_*.json results,
+# and diff them against the committed baselines with direction-aware
+# noise bands. Journals + spill segments + flight-recorder dumps stay in
+# journal-artifacts/ so a failed run can be replayed offline; the
+# recorded results and the rendered report are uploaded as artifacts.
+# No `| tee` here — a pipe would let the pipeline's exit status mask the
+# comparator's verdict under plain sh.
+bench_status=0
+go run ./cmd/asbench -exp cheap -scale 0.01 \
+	-record bench-results -compare benchmarks/baselines \
+	-band 1 -floor-ms 10 \
+	-artifacts journal-artifacts > bench-report.txt 2>&1 || bench_status=$?
+cat bench-report.txt
+exit $bench_status
