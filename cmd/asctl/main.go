@@ -50,6 +50,8 @@ func main() {
 		cmdInvoke(os.Args[2:])
 	case "trace":
 		cmdTrace(os.Args[2:])
+	case "top":
+		cmdTop(os.Args[2:])
 	case "pools":
 		cmdPools(os.Args[2:])
 	case "runs":
@@ -70,6 +72,8 @@ func usage() {
   asctl scan <workflow.json>       statically verify the workflow's guest images
   asctl invoke [-node host:port] [-timeout 30s] [-retries 0] <workflow>   invoke on a running asvisor
   asctl trace [-node host:port] [-o trace.json] <workflow>   invoke with tracing; write Chrome/Perfetto trace
+  asctl trace [-node host:port] [-o trace.json] -id <trace-id>   fetch a tail-sampled trace retained by the node
+  asctl top [-node host:port] [-interval 2s] [-once]   live dashboard: latency quantiles, SLO burn, pools, runs
   asctl pools [-node host:port]   show the node's warm-instance pools
   asctl runs [-node host:port]    list journaled runs and their committed progress
   asctl resume [-node host:port] <run-id>   resume an unsealed run from its journal
@@ -265,7 +269,12 @@ func cmdTrace(args []string) {
 	node := fs.String("node", "127.0.0.1:8080", "asvisor address")
 	out := fs.String("o", "trace.json", "output file for the Chrome trace")
 	timeout := fs.Duration("timeout", 0, "overall invocation timeout (0 = none)")
+	id := fs.String("id", "", "fetch a retained trace by ID from /traces/ instead of invoking")
 	fs.Parse(args)
+	if *id != "" {
+		fetchRetainedTrace(*node, *id, *out)
+		return
+	}
 	if fs.NArg() != 1 {
 		usage()
 	}
@@ -314,6 +323,26 @@ func cmdTrace(args []string) {
 	if resp.StatusCode != http.StatusOK {
 		os.Exit(1)
 	}
+}
+
+// fetchRetainedTrace downloads a tail-sampled trace the node retained
+// (GET /traces/{id}) — the resolution path for exemplar trace IDs seen
+// on /metrics or in invoke responses.
+func fetchRetainedTrace(node, id, out string) {
+	resp, err := http.Get(fmt.Sprintf("http://%s/traces/%s", node, id))
+	if err != nil {
+		fatal("trace: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		fatal("trace %s: %s (%s) — the sampler may have dropped or evicted it", id,
+			strings.TrimSpace(string(body)), resp.Status)
+	}
+	if err := os.WriteFile(out, body, 0o644); err != nil {
+		fatal("trace: write %s: %v", out, err)
+	}
+	fmt.Printf("wrote %s — load it at https://ui.perfetto.dev or chrome://tracing\n", out)
 }
 
 // cmdPools queries /pools and prints one row per warm pool: stock,

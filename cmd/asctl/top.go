@@ -1,0 +1,226 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"alloystack/internal/journal"
+	"alloystack/internal/metrics"
+	"alloystack/internal/pool"
+)
+
+// cmdTop is the live terminal dashboard: it polls a node's /metrics,
+// /pools and /runs endpoints and renders per-workflow latency quantiles
+// (computed client-side from the histogram buckets), SLO burn rates,
+// admission and journal counters. -once prints a single frame and
+// exits, which is what scripts and tests want.
+func cmdTop(args []string) {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	node := fs.String("node", "127.0.0.1:8080", "asvisor address")
+	interval := fs.Duration("interval", 2*time.Second, "refresh interval")
+	once := fs.Bool("once", false, "print one frame and exit")
+	fs.Parse(args)
+
+	for {
+		frame, err := topFrame(*node)
+		if err != nil {
+			fatal("top: %v", err)
+		}
+		if !*once {
+			// Clear screen and home the cursor between refreshes.
+			fmt.Print("\x1b[2J\x1b[H")
+		}
+		fmt.Print(frame)
+		if *once {
+			return
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// topFrame fetches and renders one dashboard frame.
+func topFrame(node string) (string, error) {
+	samples, err := fetchMetrics(node)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "asvisor %s — %s\n\n", node, time.Now().Format("15:04:05"))
+	renderNodeCounters(&b, samples)
+	renderWorkflows(&b, samples)
+	renderPools(&b, node)
+	renderRuns(&b, node)
+	return b.String(), nil
+}
+
+func fetchMetrics(node string) ([]metrics.PromSample, error) {
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", node))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("/metrics: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	return metrics.ParseProm(resp.Body)
+}
+
+// metricValue returns the value of the first sample matching name and
+// the label filter, with ok=false when absent.
+func metricValue(samples []metrics.PromSample, name string, match map[string]string) (float64, bool) {
+	for _, s := range samples {
+		if s.Name != name {
+			continue
+		}
+		ok := true
+		for k, v := range match {
+			if s.Labels[k] != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+func renderNodeCounters(b *strings.Builder, samples []metrics.PromSample) {
+	row := func(label, name string) {
+		if v, ok := metricValue(samples, name, nil); ok {
+			fmt.Fprintf(b, "  %-12s %g\n", label, v)
+		}
+	}
+	fmt.Fprintf(b, "node\n")
+	row("completed", "alloystack_watchdog_invocations_total")
+	row("failures", "alloystack_watchdog_failures_total")
+	row("inflight", "alloystack_watchdog_inflight")
+	row("shed", "alloystack_watchdog_shed_total")
+	row("backlog", "alloystack_sched_backlog")
+	row("retries", "alloystack_watchdog_retries_total")
+	row("journal-appends", "alloystack_journal_appends_total")
+	row("traces-kept", "alloystack_traces_retained_total")
+	row("captures", "alloystack_anomaly_captures_total")
+	// Node-wide latency from the watchdog's own histogram.
+	if buckets := metrics.BucketsOf(samples, "alloystack_watchdog_invoke_latency_seconds", nil); len(buckets) > 0 {
+		fmt.Fprintf(b, "  %-12s p50 %s  p99 %s\n", "latency",
+			fmtSeconds(metrics.BucketQuantile(0.50, buckets)),
+			fmtSeconds(metrics.BucketQuantile(0.99, buckets)))
+	}
+	fmt.Fprintln(b)
+}
+
+// renderWorkflows renders the per-workflow table from the telemetry
+// plane's histogram family and SLO gauges.
+func renderWorkflows(b *strings.Builder, samples []metrics.PromSample) {
+	wfs := map[string]bool{}
+	for _, s := range samples {
+		if s.Name == "alloystack_workflow_e2e_seconds_count" && s.Labels["workflow"] != "" {
+			wfs[s.Labels["workflow"]] = true
+		}
+	}
+	if len(wfs) == 0 {
+		fmt.Fprintf(b, "workflows: none observed yet\n\n")
+		return
+	}
+	names := make([]string, 0, len(wfs))
+	for wf := range wfs {
+		names = append(names, wf)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(b, "%-20s %8s %10s %10s %7s %7s %5s\n",
+		"WORKFLOW", "COUNT", "P50", "P99", "BURN-S", "BURN-L", "SLO")
+	for _, wf := range names {
+		match := map[string]string{"workflow": wf}
+		count, _ := metricValue(samples, "alloystack_workflow_e2e_seconds_count", match)
+		buckets := metrics.BucketsOf(samples, "alloystack_workflow_e2e_seconds", match)
+		p50 := metrics.BucketQuantile(0.50, buckets)
+		p99 := metrics.BucketQuantile(0.99, buckets)
+		burnS, hasS := metricValue(samples, "alloystack_slo_burn_rate",
+			map[string]string{"workflow": wf, "window": "short"})
+		burnL, _ := metricValue(samples, "alloystack_slo_burn_rate",
+			map[string]string{"workflow": wf, "window": "long"})
+		breached, _ := metricValue(samples, "alloystack_slo_breached", match)
+		slo := "-"
+		if hasS {
+			slo = "ok"
+			if breached >= 1 {
+				slo = "BURN"
+			}
+		}
+		burnSs, burnLs := "-", "-"
+		if hasS {
+			burnSs = fmt.Sprintf("%.2f", burnS)
+			burnLs = fmt.Sprintf("%.2f", burnL)
+		}
+		fmt.Fprintf(b, "%-20s %8.0f %10s %10s %7s %7s %5s\n",
+			wf, count, fmtSeconds(p50), fmtSeconds(p99), burnSs, burnLs, slo)
+	}
+	fmt.Fprintln(b)
+}
+
+func renderPools(b *strings.Builder, node string) {
+	resp, err := http.Get(fmt.Sprintf("http://%s/pools", node))
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	var stats []pool.Stats
+	if decodeJSONBody(resp.Body, &stats) != nil || len(stats) == 0 {
+		return
+	}
+	fmt.Fprintf(b, "%-20s %6s %6s %6s %6s\n", "POOL", "WARM", "TARGET", "HITS", "MISS")
+	for _, s := range stats {
+		fmt.Fprintf(b, "%-20s %6d %6d %6d %6d\n", s.Workflow, s.Warm, s.Target, s.Hits, s.Misses)
+	}
+	fmt.Fprintln(b)
+}
+
+func renderRuns(b *strings.Builder, node string) {
+	resp, err := http.Get(fmt.Sprintf("http://%s/runs", node))
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	var runs []journal.Summary
+	if decodeJSONBody(resp.Body, &runs) != nil || len(runs) == 0 {
+		return
+	}
+	resumable := 0
+	for _, s := range runs {
+		if !s.Sealed {
+			resumable++
+		}
+	}
+	fmt.Fprintf(b, "runs: %d journaled, %d resumable\n", len(runs), resumable)
+}
+
+func decodeJSONBody(r io.Reader, v any) error {
+	data, err := io.ReadAll(io.LimitReader(r, 1<<20))
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(data, v)
+}
+
+// fmtSeconds renders a seconds value with a readable unit.
+func fmtSeconds(s float64) string {
+	d := time.Duration(s * float64(time.Second))
+	switch {
+	case d == 0:
+		return "-"
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.0fµs", float64(d)/float64(time.Microsecond))
+	case d < time.Second:
+		return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+	}
+	return fmt.Sprintf("%.2fs", d.Seconds())
+}

@@ -30,6 +30,7 @@ import (
 	"alloystack/internal/dag"
 	"alloystack/internal/faults"
 	"alloystack/internal/journal"
+	"alloystack/internal/metrics"
 	"alloystack/internal/pool"
 	"alloystack/internal/sched"
 	"alloystack/internal/visor"
@@ -52,6 +53,11 @@ func main() {
 	warmPools := flag.Bool("warm-pools", false, "pre-boot warm snapshot/fork pools for Python-runtime workflows")
 	poolMin := flag.Int("pool-min", 1, "minimum warm instances per pool")
 	poolMax := flag.Int("pool-max", 4, "maximum warm instances per pool")
+	traceSample := flag.Float64("trace-sample", 0.01, "base-rate trace retention probability for ordinary runs (failed and tail runs always keep)")
+	traceSeed := flag.Int64("trace-seed", 1, "seed for the deterministic trace-sampling draw")
+	sloObjective := flag.Duration("slo-objective", 0, "per-request latency objective enabling SLO burn-rate tracking (0 = off)")
+	sloTarget := flag.Float64("slo-target", 0.99, "fraction of requests that must meet -slo-objective")
+	captureDir := flag.String("capture-dir", "", "directory for anomaly captures (profiles + flight recorder) on SLO breach")
 	flag.Parse()
 
 	var plan *faults.Plan
@@ -113,6 +119,19 @@ func main() {
 	}
 
 	wd := visor.NewWatchdog(v)
+
+	// The telemetry plane is always on for a node binary: bounded
+	// histograms, tail-sampled tracing and — when -slo-objective is set —
+	// SLO burn-rate watching with anomaly capture.
+	wd.Telemetry = visor.NewTelemetry(visor.TelemetryConfig{
+		SamplerSeed: *traceSeed,
+		SampleRate:  *traceSample,
+		SLO: metrics.SLOConfig{
+			Objective: *sloObjective,
+			Target:    *sloTarget,
+		},
+		CaptureDir: *captureDir,
+	})
 
 	// Durable runs: every invocation write-ahead-journals its stage
 	// barriers, so a crashed node can resume committed work with

@@ -206,6 +206,22 @@ func TestCrashResumeSmoke(t *testing.T) {
 	}
 }
 
+func TestObservabilitySmoke(t *testing.T) {
+	rep := runExp(t, "obs", Observability)
+	if len(rep.Rows) != 2 {
+		t.Fatalf("obs rows = %d", len(rep.Rows))
+	}
+	// The anomaly-capture phase must have produced a capture.
+	if got := rep.Snapshot.Counters["anomaly_captures"]; got < 1 {
+		t.Fatalf("obs anomaly_captures = %d, want >= 1", got)
+	}
+	// The overhead delta must never gate (difference of noisy numbers).
+	m := rep.Metric("telemetry_overhead_pct")
+	if m == nil || m.Direction != Informational {
+		t.Fatalf("telemetry_overhead_pct missing or gating: %+v", m)
+	}
+}
+
 func TestReportRendering(t *testing.T) {
 	r := &Report{
 		ID:     "x",

@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"alloystack/internal/metrics"
+	"alloystack/internal/visor"
+	"alloystack/internal/workloads"
+)
+
+// obsRuns is the per-arm sample count: enough for a stable p50 of the
+// ~1 s python chain without making the cheap CI set crawl.
+const obsRuns = 9
+
+// Observability measures what the always-on telemetry plane costs. Two
+// arms over the interpreter-tier function chain (5 Python functions,
+// the representative serverless case):
+//
+//	off — the bare runtime path: RunWorkflow with no tracer and no
+//	      histogram observation
+//	on  — the full always-on path every production invocation takes:
+//	      a flight-recorder tracer from Telemetry.StartRun, the run
+//	      itself, then ObserveRun (tail-sampling decision, histogram
+//	      observation with exemplar, trace retention)
+//
+// The telemetry plane is built for always-on deployment, so the added
+// p50 must stay under 2% — the headline acceptance number, reported as
+// an informational gauge (a difference of two noisy numbers; the
+// per-arm p50s are what gate, PR-7 precedent).
+//
+// A third, untimed phase points a tight SLO (objective 1ns, so every
+// run burns budget) at the same workflow to demonstrate the anomaly
+// capture path end to end: the breach transition must produce a
+// capture directory with profiles and the flight recorder.
+func Observability(o Options) (*Result, error) {
+	o = o.withDefaults()
+	size := o.size(16 << 20)
+	w := workloads.FunctionChain(5, size, "python")
+	v := newAlloyVisor()
+
+	// Input images are single-use (runs consume them), so every
+	// invocation builds a fresh one outside the timed window.
+	buildOpts := func(mutate func(*visor.RunOptions)) (visor.RunOptions, error) {
+		ro := alloyOpts(o, mutate)
+		img, err := workloads.BuildEmptyImage(true)
+		if err != nil {
+			return ro, err
+		}
+		ro.DiskImage = img
+		return ro, nil
+	}
+
+	tel := visor.NewTelemetry(visor.TelemetryConfig{
+		SamplerSeed: 1,
+		Clock:       o.Clock,
+	})
+
+	var off, on []time.Duration
+	for i := 0; i < obsRuns; i++ {
+		// Arm 1: telemetry off.
+		ro, err := buildOpts(nil)
+		if err != nil {
+			return nil, err
+		}
+		start := o.now()
+		if _, err := v.RunWorkflow(w, ro); err != nil {
+			return nil, fmt.Errorf("off run %d: %w", i, err)
+		}
+		off = append(off, o.since(start))
+
+		// Arm 2: telemetry on — the timed window is the whole always-on
+		// path, exactly as the watchdog drives it per invocation.
+		ro, err = buildOpts(nil)
+		if err != nil {
+			return nil, err
+		}
+		start = o.now()
+		tracer := tel.StartRun(w.Name)
+		ro.Trace = tracer
+		_, rerr := v.RunWorkflow(w, ro)
+		d := o.since(start)
+		tel.ObserveRun(w.Name, tracer, d, rerr)
+		if rerr != nil {
+			return nil, fmt.Errorf("on run %d: %w", i, rerr)
+		}
+		on = append(on, d)
+	}
+	retained, dropped := tel.Retained()
+
+	// Phase 3 (untimed): drive the anomaly-capture path. A 1ns objective
+	// makes every run burn error budget, so the first observation
+	// transitions the SLO into breach and snapshots profiles plus the
+	// triggering run's flight recorder.
+	capDir := o.ArtifactsDir
+	if capDir == "" {
+		tmp, err := os.MkdirTemp("", "asbench-obs-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(tmp)
+		capDir = tmp
+	} else if err := os.MkdirAll(capDir, 0o755); err != nil {
+		return nil, err
+	}
+	capTel := visor.NewTelemetry(visor.TelemetryConfig{
+		SamplerSeed:       1,
+		SLO:               metrics.SLOConfig{Objective: time.Nanosecond},
+		CaptureDir:        capDir,
+		CaptureCPUProfile: 50 * time.Millisecond,
+		Clock:             o.Clock,
+	})
+	ro, err := buildOpts(nil)
+	if err != nil {
+		return nil, err
+	}
+	tracer := capTel.StartRun(w.Name)
+	ro.Trace = tracer
+	_, rerr := v.RunWorkflow(w, ro)
+	capTel.ObserveRun(w.Name, tracer, time.Second, rerr)
+	if rerr != nil {
+		return nil, fmt.Errorf("capture run: %w", rerr)
+	}
+	capTel.WaitCaptures()
+	captures, lastCap := capTel.Captures()
+	if captures == 0 {
+		return nil, fmt.Errorf("SLO breach produced no anomaly capture in %s", capDir)
+	}
+
+	overhead := 100 * (float64(percentile(on, 50)) - float64(percentile(off, 50))) /
+		float64(percentile(off, 50))
+
+	r := o.newResult("obs", "always-on telemetry: histogram + tail-sampled tracing overhead (python chain x5)")
+	r.Header = []string{"arm", "p50 (ms)", "p99 (ms)"}
+	r.Rows = [][]string{
+		{"telemetry off",
+			r.msCell("p50_ms/off", LowerIsBetter, percentile(off, 50), off...),
+			r.msCell("p99_ms/off", LowerIsBetter, percentile(off, 99))},
+		{"telemetry on (always-on path)",
+			r.msCell("p50_ms/on", LowerIsBetter, percentile(on, 50), on...),
+			r.msCell("p99_ms/on", LowerIsBetter, percentile(on, 99))},
+	}
+	r.Snapshot.AddLatency("off", metrics.Summarize(off))
+	r.Snapshot.AddLatency("on", metrics.Summarize(on))
+	r.Snapshot.AddCounter("traces_retained", retained)
+	r.Snapshot.AddCounter("traces_dropped", dropped)
+	r.Snapshot.AddCounter("anomaly_captures", captures)
+	r.gauge("telemetry_overhead_pct", "%", Informational, overhead)
+	r.Notes = append(r.Notes,
+		fmt.Sprintf("%d runs per arm; on-arm window = StartRun + run + ObserveRun (the watchdog's path)", obsRuns),
+		fmt.Sprintf("telemetry overhead p50: %+.1f%% (target < 2%%; per-arm p50s gate, the delta is informational)", overhead),
+		fmt.Sprintf("tail sampler: %d retained, %d dropped (failed/tail always keep; base rate 1%%)", retained, dropped),
+		fmt.Sprintf("anomaly capture: %d capture(s); latest in %s (cpu.pprof, heap.pprof, flight.txt, trace.json)", captures, lastCap))
+	if o.ArtifactsDir != "" {
+		r.Notes = append(r.Notes, fmt.Sprintf("capture artifacts kept in %s", capDir))
+	}
+	return emit(o, r), nil
+}

@@ -3,7 +3,6 @@ package bench
 import (
 	"fmt"
 	"runtime"
-	"runtime/debug"
 	"strings"
 	"time"
 
@@ -156,21 +155,8 @@ func wallNow() time.Time {
 	return time.Now() //asvet:allow wallclock -- the one approved injection point: default clock + recorder timestamp
 }
 
-// buildGitSHA reads the VCS revision stamped into the binary, when the
-// toolchain embedded one (`go build` from a clean checkout does;
-// `go run` and test binaries do not).
+// buildGitSHA reads the VCS revision stamped into the binary; shared
+// with the watchdog/gateway build_info gauge via metrics.GitSHA.
 func buildGitSHA() string {
-	bi, ok := debug.ReadBuildInfo()
-	if !ok {
-		return ""
-	}
-	for _, s := range bi.Settings {
-		if s.Key == "vcs.revision" {
-			if len(s.Value) > 12 {
-				return s.Value[:12]
-			}
-			return s.Value
-		}
-	}
-	return ""
+	return metrics.GitSHA()
 }

@@ -54,7 +54,9 @@ func Fig17a(o Options) (*Result, error) {
 }
 
 func loadSweepAS(o Options, v *visor.Visor, size int64, concurrency, total int) (metrics.Summary, error) {
-	rec := metrics.NewRecorder()
+	// Exact percentiles over every run: size the ring to the sweep so the
+	// retention cap never drops samples.
+	rec := metrics.NewRecorderCap(total)
 	w := workloads.ParallelSorting(3, "native")
 	var wg sync.WaitGroup
 	errCh := make(chan error, concurrency)
@@ -90,7 +92,7 @@ func loadSweepAS(o Options, v *visor.Visor, size int64, concurrency, total int) 
 }
 
 func loadSweepBaseline(o Options, size int64, concurrency, total int) (metrics.Summary, error) {
-	rec := metrics.NewRecorder()
+	rec := metrics.NewRecorderCap(total)
 	w := workloads.ParallelSorting(3, "native")
 	inputs := map[string][]byte{workloads.BinInputPath: workloads.GenU64s(size, 42)}
 	costs := baselines.DefaultCosts()

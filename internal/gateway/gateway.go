@@ -9,6 +9,7 @@
 package gateway
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -36,6 +37,24 @@ type backendState struct {
 	mu        sync.Mutex
 	fails     int // consecutive status-level failures
 	downUntil time.Time
+	// degraded mirrors the backend's /healthz self-report: the node can
+	// serve but one of its workflows is inside an SLO breach. Degraded
+	// backends stay in rotation, just behind healthy ones.
+	degraded bool
+}
+
+// isDegraded reports the backend's last self-reported degraded state.
+func (b *backendState) isDegraded() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.degraded
+}
+
+// setDegraded records the health probe's degraded reading.
+func (b *backendState) setDegraded(v bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.degraded = v
 }
 
 // isDown reports whether the breaker currently excludes the backend
@@ -93,6 +112,9 @@ type Gateway struct {
 	failovers atomic.Int64
 	requests  atomic.Int64
 	shed      atomic.Int64
+	// lat aggregates end-to-end gateway request latency (including
+	// failovers) for /metrics.
+	lat *metrics.Histogram
 
 	srv        *http.Server
 	ln         net.Listener
@@ -112,6 +134,7 @@ func New(backends ...string) (*Gateway, error) {
 	return &Gateway{
 		backends: states,
 		client:   &http.Client{Timeout: 5 * time.Minute},
+		lat:      metrics.NewHistogram(),
 	}, nil
 }
 
@@ -197,18 +220,28 @@ func (g *Gateway) Invoke(workflow string) ([]byte, error) {
 // ?warm=0 across the hop.
 func (g *Gateway) InvokeQuery(workflow, rawQuery string) ([]byte, error) {
 	g.requests.Add(1)
+	reqStart := time.Now()
+	defer func() { g.lat.Observe(time.Since(reqStart)) }()
 	n := uint64(len(g.backends))
 	start := g.next.Add(1)
 	var lastErr error
 	var lastBody []byte
 	tried := 0
-	for pass := 0; pass < 2; pass++ {
+	for pass := 0; pass < 3; pass++ {
 		for i := uint64(0); i < n; i++ {
 			b := g.backends[(start+i)%n]
-			down := b.isDown(time.Now())
-			// Pass 0 walks healthy backends; pass 1 probes the
-			// marked-down remainder (half-open).
-			if (pass == 0) == down {
+			// Pass 0 walks healthy non-degraded backends, pass 1 the
+			// degraded-but-up ones (an SLO breach deprioritises a node
+			// without benching it), pass 2 probes the marked-down
+			// remainder (half-open).
+			var want int
+			switch {
+			case b.isDown(time.Now()):
+				want = 2
+			case b.isDegraded():
+				want = 1
+			}
+			if pass != want {
 				continue
 			}
 			if tried > 0 {
@@ -262,10 +295,14 @@ func (g *Gateway) CheckHealth() map[string]bool {
 			b.markDown(g.cooldown(), time.Now())
 			continue
 		}
-		io.Copy(io.Discard, resp.Body)
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 		resp.Body.Close()
 		if resp.StatusCode < 300 {
 			b.markUp()
+			// The watchdog self-reports "degraded ..." when one of its
+			// workflows is inside an SLO breach; such a backend stays up
+			// but drops behind healthy peers in the rotation.
+			b.setDegraded(bytes.HasPrefix(body, []byte("degraded")))
 		} else {
 			b.markDown(g.cooldown(), time.Now())
 		}
@@ -367,6 +404,22 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 		pw.Value("alloystack_gateway_backend_up", up, "backend", addr)
 	}
+	pw.Header("alloystack_gateway_backend_degraded", "gauge",
+		"Backend self-reported SLO-degraded state (1 = deprioritised).")
+	byAddr := make(map[string]*backendState, len(g.backends))
+	for _, b := range g.backends {
+		byAddr[b.addr] = b
+	}
+	for _, addr := range addrs {
+		deg := 0.0
+		if byAddr[addr].isDegraded() {
+			deg = 1.0
+		}
+		pw.Value("alloystack_gateway_backend_degraded", deg, "backend", addr)
+	}
+	pw.Histogram("alloystack_gateway_request_latency_seconds",
+		"End-to-end gateway request latency including failovers.", g.lat)
+	pw.BuildInfo("alloystack_build_info", metrics.CurrentBuild())
 }
 
 // Stop shuts the gateway's HTTP server and health prober down.

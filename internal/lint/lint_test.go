@@ -113,6 +113,13 @@ func TestWallClockBenchFixtures(t *testing.T) {
 	runFixture(t, "alloystack__internal__bench", WallClock)
 }
 
+func TestWallClockMetricsFixtures(t *testing.T) {
+	// Exercises the multi-prefix scope: histogram_fixture.go is in scope
+	// and carries want comments; unscoped.go reads the clock freely and
+	// must stay silent.
+	runFixture(t, "alloystack__internal__metrics", WallClock)
+}
+
 func TestWallClockOutOfScopePackageExempt(t *testing.T) {
 	// senterr_user calls time.Now freely; wallclock only scopes the
 	// determinism-critical packages, so it must stay silent here. The

@@ -1,0 +1,24 @@
+// Package metrics (fixture): the directory name claims the import path
+// alloystack/internal/metrics, where wallclock scopes the histogram*
+// and slo* files. The histogram ingests durations it is handed and the
+// SLO runs on a constructor-injected clock; neither may read the wall
+// clock itself.
+package metrics
+
+import "time"
+
+type slo struct {
+	clock func() time.Time
+}
+
+func badObserveTimestamp() time.Time {
+	return time.Now() // want "wall-clock read time.Now in determinism-critical package"
+}
+
+func badAge(start time.Time) time.Duration {
+	return time.Since(start) // want "wall-clock read time.Since in determinism-critical package"
+}
+
+func goodInjectedClock(s slo) time.Time {
+	return s.clock()
+}

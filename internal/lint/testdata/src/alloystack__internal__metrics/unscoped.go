@@ -1,0 +1,12 @@
+package metrics
+
+import "time"
+
+// This file's base name matches neither the histogram nor the slo
+// prefix, so it is outside wallclock's scope for this package: the
+// direct reads below must stay silent (the real package's StageClock
+// and recorder timestamps live in files like this one).
+func unscopedWallRead() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}

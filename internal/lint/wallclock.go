@@ -24,22 +24,29 @@ var WallClock = &Analyzer{
 }
 
 // wallclockScope maps each determinism-critical package to the file
-// prefix the check applies to ("" = every file in the package).
-var wallclockScope = map[string]string{
+// prefixes the check applies to (empty list = every file in the
+// package; otherwise a file is in scope when its base name starts with
+// any listed prefix).
+var wallclockScope = map[string][]string{
 	// Measurement loops time workflows on the injected Options.Clock so
 	// experiments replay under test clocks; the sole wall-clock reads
 	// are the default clock + the recorder's RecordedAt stamp, funneled
 	// through one waived wallNow().
-	"alloystack/internal/bench":  "",
-	"alloystack/internal/faults": "",
+	"alloystack/internal/bench":  nil,
+	"alloystack/internal/faults": nil,
 	// The journal must replay byte-identically: record timestamps come
 	// from the injected Options.Clock, never a direct wall-clock read.
-	"alloystack/internal/journal": "",
-	"alloystack/internal/pool":    "",
-	"alloystack/internal/sched":   "",
+	"alloystack/internal/journal": nil,
+	// The histogram ingests durations without timestamping them, and the
+	// SLO's burn windows run on a constructor-injected clock; both must
+	// stay replayable under test clocks.
+	"alloystack/internal/metrics": {"histogram", "slo"},
+	"alloystack/internal/pool":    nil,
+	"alloystack/internal/sched":   nil,
 	// The tracer legitimately timestamps spans; only its structural
-	// fingerprint (the chaos-determinism witness) must stay clock-free.
-	"alloystack/internal/trace": "fingerprint",
+	// fingerprint (the chaos-determinism witness) and the tail sampler's
+	// retention draw must stay clock-free.
+	"alloystack/internal/trace": {"fingerprint", "sampler"},
 }
 
 // wallclockTimeFuncs are the time package reads that break seeded
@@ -56,13 +63,23 @@ var wallclockRandExempt = map[string]bool{
 }
 
 func runWallClock(pass *Pass) {
-	prefix, scoped := wallclockScope[strings.TrimSuffix(pass.PkgPath, "_test")]
+	prefixes, scoped := wallclockScope[strings.TrimSuffix(pass.PkgPath, "_test")]
 	if !scoped {
 		return
 	}
+	inScope := func(base string) bool {
+		if len(prefixes) == 0 {
+			return true
+		}
+		for _, p := range prefixes {
+			if strings.HasPrefix(base, p) {
+				return true
+			}
+		}
+		return false
+	}
 	for i, f := range pass.Files {
-		base := filepath.Base(pass.Filenames[i])
-		if prefix != "" && !strings.HasPrefix(base, prefix) {
+		if !inScope(filepath.Base(pass.Filenames[i])) {
 			continue
 		}
 		ast.Inspect(f, func(n ast.Node) bool {

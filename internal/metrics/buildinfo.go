@@ -1,0 +1,46 @@
+package metrics
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo identifies the running binary for fleet views: which commit
+// and toolchain produced the node answering a scrape. It is the same
+// fingerprint internal/bench stamps into recorded results, factored
+// here so the watchdog and gateway /metrics endpoints expose it too.
+type BuildInfo struct {
+	GoVersion string
+	GOOS      string
+	GOARCH    string
+	GitSHA    string
+}
+
+// CurrentBuild reads the process's build identity.
+func CurrentBuild() BuildInfo {
+	return BuildInfo{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		GitSHA:    GitSHA(),
+	}
+}
+
+// GitSHA reads the VCS revision stamped into the binary, truncated to
+// 12 hex digits, when the toolchain embedded one (`go build` from a
+// clean checkout does; `go run` and test binaries do not).
+func GitSHA() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" {
+			if len(s.Value) > 12 {
+				return s.Value[:12]
+			}
+			return s.Value
+		}
+	}
+	return ""
+}

@@ -14,18 +14,51 @@ import (
 )
 
 // Recorder accumulates latency samples. Safe for concurrent use.
+//
+// Retention is bounded: once cap samples have been recorded the oldest
+// are overwritten ring-style, so a long-lived watchdog summarises a
+// sliding window instead of growing per invocation forever. Paths that
+// need exact percentiles over a known sample count (benchmark sweeps)
+// pass that count to NewRecorderCap explicitly.
 type Recorder struct {
 	mu      sync.Mutex
 	samples []time.Duration
+	cap     int
+	next    int    // ring cursor once len(samples) == cap
+	total   uint64 // samples ever recorded, including overwritten ones
 }
 
-// NewRecorder returns an empty recorder.
-func NewRecorder() *Recorder { return &Recorder{} }
+// DefaultRecorderCap bounds retained samples for NewRecorder. 4096
+// samples is a deep enough window for stable p99 digests while capping
+// the recorder at a few tens of kilobytes.
+const DefaultRecorderCap = 4096
 
-// Record adds one sample.
+// NewRecorder returns an empty recorder retaining the last
+// DefaultRecorderCap samples.
+func NewRecorder() *Recorder { return NewRecorderCap(DefaultRecorderCap) }
+
+// NewRecorderCap returns an empty recorder retaining the last n
+// samples. n <= 0 falls back to DefaultRecorderCap.
+func NewRecorderCap(n int) *Recorder {
+	if n <= 0 {
+		n = DefaultRecorderCap
+	}
+	return &Recorder{cap: n}
+}
+
+// Record adds one sample, evicting the oldest when the window is full.
 func (r *Recorder) Record(d time.Duration) {
 	r.mu.Lock()
-	r.samples = append(r.samples, d)
+	if r.cap <= 0 {
+		r.cap = DefaultRecorderCap // zero-value Recorder
+	}
+	if len(r.samples) < r.cap {
+		r.samples = append(r.samples, d)
+	} else {
+		r.samples[r.next] = d
+		r.next = (r.next + 1) % r.cap
+	}
+	r.total++
 	r.mu.Unlock()
 }
 
@@ -38,11 +71,19 @@ func (r *Recorder) Time(fn func()) time.Duration {
 	return d
 }
 
-// Count reports the number of samples.
+// Count reports the number of retained samples (at most the capacity).
 func (r *Recorder) Count() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return len(r.samples)
+}
+
+// Total reports samples ever recorded, including those the ring has
+// since overwritten.
+func (r *Recorder) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
 }
 
 // Summary is a percentile digest of a sample set. Durations marshal as

@@ -3,7 +3,9 @@ package metrics
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
+	"strconv"
 	"time"
 )
 
@@ -59,6 +61,70 @@ func (p *PromWriter) Summary(name string, s Summary, labels ...string) {
 		p.Value(name, q.d.Seconds(), append([]string{"quantile", q.q}, labels...)...)
 	}
 	p.Value(name+"_count", float64(s.Count), labels...)
+}
+
+// Histogram emits a histogram family in Prometheus exposition:
+// cumulative _bucket{le="..."} series (sparse — empty buckets are
+// omitted; cumulative counts make that lossless), the mandatory +Inf
+// bucket, then _sum and _count. Buckets carrying an exemplar get the
+// OpenMetrics-style suffix `# {trace_id="..."} <seconds>` so a scrape
+// can point at the retained trace explaining that latency band.
+func (p *PromWriter) Histogram(name, help string, h *Histogram, labels ...string) {
+	p.HistogramSnapshot(name, help, h.Snapshot(), labels...)
+}
+
+// HistogramSnapshot renders an already-snapshotted histogram; Header is
+// emitted once per call, so per-label-set families should snapshot
+// first and group under one WriteHistogramFamily-style caller.
+func (p *PromWriter) HistogramSnapshot(name, help string, s HistogramSnapshot, labels ...string) {
+	p.Header(name, "histogram", help)
+	p.histogramSeries(name, s, labels...)
+}
+
+// HistogramFamily emits one header and then the series of every
+// (labels, snapshot) pair — the per-workflow exposition shape.
+func (p *PromWriter) HistogramFamily(name, help string, series []LabeledHistogram) {
+	p.Header(name, "histogram", help)
+	for _, ls := range series {
+		p.histogramSeries(name, ls.Snapshot, ls.Labels...)
+	}
+}
+
+// LabeledHistogram pairs one label set with its snapshot for
+// HistogramFamily.
+type LabeledHistogram struct {
+	Labels   []string
+	Snapshot HistogramSnapshot
+}
+
+func (p *PromWriter) histogramSeries(name string, s HistogramSnapshot, labels ...string) {
+	for _, b := range s.CumulativeBuckets() {
+		le := "+Inf"
+		if !math.IsInf(b.UpperSeconds, 1) {
+			le = strconv.FormatFloat(b.UpperSeconds, 'g', -1, 64)
+		}
+		bl := append(append([]string{}, labels...), "le", le)
+		if b.Exemplar.TraceID != "" {
+			p.printf("%s_bucket%s %d # {trace_id=%q} %g\n",
+				name, renderLabels(bl), b.Cumulative,
+				b.Exemplar.TraceID, b.Exemplar.Value.Seconds())
+			continue
+		}
+		p.printf("%s_bucket%s %d\n", name, renderLabels(bl), b.Cumulative)
+	}
+	p.Value(name+"_sum", s.Sum.Seconds(), labels...)
+	p.printf("%s_count%s %d\n", name, renderLabels(labels), s.Count)
+}
+
+// BuildInfo emits the conventional build-identity gauge: constant 1,
+// with the binary's provenance in the labels.
+func (p *PromWriter) BuildInfo(name string, bi BuildInfo) {
+	p.Header(name, "gauge", "Build identity of this binary (constant 1).")
+	p.Value(name, 1,
+		"go_version", bi.GoVersion,
+		"goos", bi.GOOS,
+		"goarch", bi.GOARCH,
+		"git_sha", bi.GitSHA)
 }
 
 // Transport emits the per-kind data-plane counters under a common

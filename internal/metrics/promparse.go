@@ -1,0 +1,229 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromSample is one parsed sample line of a Prometheus text exposition.
+type PromSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// ParseProm parses the Prometheus 0.0.4 text format this package's
+// PromWriter emits — enough of it for asctl top to read a node's own
+// /metrics back: # comment lines are skipped, exemplar suffixes
+// (` # {...} v`) are stripped, label values may contain escaped quotes.
+// It is a scrape consumer, not a validator: malformed lines error.
+func ParseProm(r io.Reader) ([]PromSample, error) {
+	var out []PromSample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parsePromLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: parse line %d: %w", lineNo, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parsePromLine(line string) (PromSample, error) {
+	var s PromSample
+	rest := line
+	// Name runs to '{' or whitespace.
+	if i := strings.IndexAny(rest, "{ \t"); i < 0 {
+		return s, fmt.Errorf("no value in %q", line)
+	} else {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := labelBlockEnd(rest)
+		if end < 0 {
+			return s, fmt.Errorf("unterminated labels in %q", line)
+		}
+		labels, err := parsePromLabels(rest[1:end])
+		if err != nil {
+			return s, fmt.Errorf("%v in %q", err, line)
+		}
+		s.Labels = labels
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimSpace(rest)
+	// Strip an exemplar suffix: value [# {labels} exemplar-value].
+	if i := strings.Index(rest, "#"); i >= 0 {
+		rest = strings.TrimSpace(rest[:i])
+	}
+	// A plain sample may still carry a timestamp; take the first field.
+	if fields := strings.Fields(rest); len(fields) > 0 {
+		rest = fields[0]
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q", rest)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// labelBlockEnd finds the index of the '}' closing the label block that
+// starts at s[0] == '{', honouring quoted label values.
+func labelBlockEnd(s string) int {
+	inQuote := false
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if inQuote {
+				i++
+			}
+		case '"':
+			inQuote = !inQuote
+		case '}':
+			if !inQuote {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+func parsePromLabels(body string) (map[string]string, error) {
+	labels := make(map[string]string)
+	for len(body) > 0 {
+		eq := strings.Index(body, "=")
+		if eq < 0 {
+			return nil, fmt.Errorf("bad label %q", body)
+		}
+		key := strings.TrimSpace(body[:eq])
+		body = body[eq+1:]
+		if !strings.HasPrefix(body, `"`) {
+			return nil, fmt.Errorf("unquoted label value for %q", key)
+		}
+		val, rest, err := unquotePrefix(body)
+		if err != nil {
+			return nil, err
+		}
+		labels[key] = val
+		body = strings.TrimPrefix(strings.TrimSpace(rest), ",")
+		body = strings.TrimSpace(body)
+	}
+	return labels, nil
+}
+
+// unquotePrefix consumes one quoted string from the front of s.
+func unquotePrefix(s string) (val, rest string, err error) {
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			v, uerr := strconv.Unquote(s[:i+1])
+			if uerr != nil {
+				return "", "", fmt.Errorf("bad quoted value %q", s[:i+1])
+			}
+			return v, s[i+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quote in %q", s)
+}
+
+// BucketCount is one cumulative histogram bucket as scraped back from
+// an exposition: its le bound in seconds (+Inf allowed) and cumulative
+// count.
+type BucketCount struct {
+	LE    float64
+	Count float64
+}
+
+// BucketsOf extracts the cumulative buckets of one histogram series
+// from parsed samples: every <name>_bucket sample whose labels match
+// the given key/value filter, sorted by le.
+func BucketsOf(samples []PromSample, name string, match map[string]string) []BucketCount {
+	var out []BucketCount
+	for _, s := range samples {
+		if s.Name != name+"_bucket" {
+			continue
+		}
+		ok := true
+		for k, v := range match {
+			if s.Labels[k] != v {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		le := s.Labels["le"]
+		var bound float64
+		if le == "+Inf" {
+			bound = math.Inf(1)
+		} else {
+			var err error
+			if bound, err = strconv.ParseFloat(le, 64); err != nil {
+				continue
+			}
+		}
+		out = append(out, BucketCount{LE: bound, Count: s.Value})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].LE < out[j].LE })
+	return out
+}
+
+// BucketQuantile estimates the q-quantile in seconds from scraped
+// cumulative buckets — the consumer-side twin of Histogram.Quantile,
+// interpolating inside the bucket holding the target rank. Returns 0
+// when the buckets are empty.
+func BucketQuantile(q float64, buckets []BucketCount) float64 {
+	if len(buckets) == 0 {
+		return 0
+	}
+	total := buckets[len(buckets)-1].Count
+	if total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := math.Ceil(q * total)
+	if rank < 1 {
+		rank = 1
+	}
+	prevBound, prevCum := 0.0, 0.0
+	for _, b := range buckets {
+		if b.Count >= rank {
+			if math.IsInf(b.LE, 1) {
+				return prevBound
+			}
+			inBucket := b.Count - prevCum
+			if inBucket <= 0 {
+				return b.LE
+			}
+			frac := (rank - prevCum) / inBucket
+			return prevBound + frac*(b.LE-prevBound)
+		}
+		prevBound, prevCum = b.LE, b.Count
+	}
+	return prevBound
+}

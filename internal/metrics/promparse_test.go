@@ -1,0 +1,83 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePromBasics(t *testing.T) {
+	in := `# HELP x help
+# TYPE x counter
+x 42
+y{a="1",b="with \"quotes\" and {brace}"} 3.5
+z_bucket{le="+Inf"} 7 # {trace_id="abc"} 0.004
+ts_metric 9 1712345678
+`
+	samples, err := ParseProm(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 4 {
+		t.Fatalf("samples = %d: %+v", len(samples), samples)
+	}
+	if samples[0].Name != "x" || samples[0].Value != 42 {
+		t.Fatalf("plain sample = %+v", samples[0])
+	}
+	if got := samples[1].Labels["b"]; got != `with "quotes" and {brace}` {
+		t.Fatalf("quoted label = %q", got)
+	}
+	if samples[2].Value != 7 {
+		t.Fatalf("exemplar line value = %v", samples[2].Value)
+	}
+	if samples[3].Value != 9 {
+		t.Fatalf("timestamped value = %v", samples[3].Value)
+	}
+}
+
+func TestParsePromMalformed(t *testing.T) {
+	for _, in := range []string{
+		"novalue",
+		`x{a="1" 3`,
+		`x{a=1} 3`,
+		"x notanumber",
+	} {
+		if _, err := ParseProm(strings.NewReader(in)); err == nil {
+			t.Fatalf("parsed malformed line %q", in)
+		}
+	}
+}
+
+func TestBucketsOfFiltersAndSorts(t *testing.T) {
+	in := `m_bucket{workflow="b",le="0.1"} 5
+m_bucket{workflow="a",le="+Inf"} 9
+m_bucket{workflow="a",le="0.05"} 3
+other_bucket{workflow="a",le="1"} 99
+`
+	samples, err := ParseProm(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := BucketsOf(samples, "m", map[string]string{"workflow": "a"})
+	if len(bs) != 2 || bs[0].LE != 0.05 || bs[0].Count != 3 || bs[1].Count != 9 {
+		t.Fatalf("buckets = %+v", bs)
+	}
+}
+
+func TestBucketQuantileEdges(t *testing.T) {
+	if q := BucketQuantile(0.5, nil); q != 0 {
+		t.Fatalf("empty = %v", q)
+	}
+	bs := []BucketCount{{LE: 0.1, Count: 0}, {LE: 1e308, Count: 0}}
+	if q := BucketQuantile(0.5, bs); q != 0 {
+		t.Fatalf("zero-count = %v", q)
+	}
+	// 10 samples ≤ 0.1s, 10 more ≤ 0.2s: p50 is the first bucket's edge,
+	// p75 interpolates halfway into the second.
+	bs = []BucketCount{{LE: 0.1, Count: 10}, {LE: 0.2, Count: 20}}
+	if q := BucketQuantile(0.5, bs); q != 0.1 {
+		t.Fatalf("p50 = %v", q)
+	}
+	if q := BucketQuantile(0.75, bs); q < 0.149 || q > 0.151 {
+		t.Fatalf("p75 = %v, want ~0.15", q)
+	}
+}

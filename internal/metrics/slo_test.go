@@ -1,0 +1,109 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a settable clock for SLO tests.
+type fakeClock struct{ now time.Time }
+
+func (c *fakeClock) Now() time.Time           { return c.now }
+func (c *fakeClock) Advance(d time.Duration)  { c.now = c.now.Add(d) }
+func newFakeClock() *fakeClock                { return &fakeClock{now: time.Unix(1_700_000_000, 0)} }
+func clockFunc(c *fakeClock) func() time.Time { return c.Now }
+
+func TestSLORequiresClock(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSLO accepted a nil clock")
+		}
+	}()
+	NewSLO(SLOConfig{Objective: time.Second}, nil)
+}
+
+func TestSLOBurnAndBreach(t *testing.T) {
+	clk := newFakeClock()
+	s := NewSLO(SLOConfig{
+		Objective:     100 * time.Millisecond,
+		Target:        0.9, // 10% error budget
+		ShortWindow:   time.Minute,
+		LongWindow:    10 * time.Minute,
+		BurnThreshold: 2,
+	}, clockFunc(clk))
+
+	// 20 good requests: no burn.
+	for i := 0; i < 20; i++ {
+		s.Observe(10*time.Millisecond, false)
+	}
+	st := s.Status()
+	if st.ShortBurn != 0 || st.Breached {
+		t.Fatalf("all-good status = %+v", st)
+	}
+
+	// Half the traffic breaches the objective: bad fraction 0.5 against a
+	// 0.1 budget = burn rate 5 in both windows → breached.
+	for i := 0; i < 20; i++ {
+		s.Observe(time.Second, false)
+	}
+	st = s.Status()
+	if st.ShortBurn < 4.9 || st.ShortBurn > 5.1 {
+		t.Fatalf("short burn = %v, want ~5", st.ShortBurn)
+	}
+	if !st.Breached {
+		t.Fatalf("not breached: %+v", st)
+	}
+	if st.Good != 20 || st.Bad != 20 {
+		t.Fatalf("lifetime totals = %d/%d", st.Good, st.Bad)
+	}
+
+	// The short window rolls past the bad burst while the long window
+	// still remembers it: burn decays, breach clears (both-windows rule).
+	clk.Advance(2 * time.Minute)
+	for i := 0; i < 10; i++ {
+		s.Observe(10*time.Millisecond, false)
+	}
+	st = s.Status()
+	if st.ShortBurn != 0 {
+		t.Fatalf("short burn after rollover = %v", st.ShortBurn)
+	}
+	if st.LongBurn == 0 {
+		t.Fatal("long window forgot the burst too early")
+	}
+	if st.Breached {
+		t.Fatal("breached with a cold short window")
+	}
+
+	// Past the long window everything is forgotten.
+	clk.Advance(11 * time.Minute)
+	st = s.Status()
+	if st.ShortBurn != 0 || st.LongBurn != 0 || st.Breached {
+		t.Fatalf("stale windows = %+v", st)
+	}
+}
+
+func TestSLOFailureBurnsRegardlessOfLatency(t *testing.T) {
+	clk := newFakeClock()
+	s := NewSLO(SLOConfig{Objective: time.Second}, clockFunc(clk))
+	s.Observe(time.Millisecond, true) // fast but failed
+	st := s.Status()
+	if st.Bad != 1 || st.Good != 0 {
+		t.Fatalf("failed request not counted bad: %+v", st)
+	}
+}
+
+func TestSLONilSafe(t *testing.T) {
+	var s *SLO
+	s.Observe(time.Second, true)
+	if st := s.Status(); st.Breached {
+		t.Fatalf("nil SLO status = %+v", st)
+	}
+}
+
+func TestSLODefaults(t *testing.T) {
+	cfg := SLOConfig{Objective: time.Second}.withDefaults()
+	if cfg.Target != 0.99 || cfg.ShortWindow != time.Minute ||
+		cfg.LongWindow != 10*time.Minute || cfg.BurnThreshold != 2 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+}

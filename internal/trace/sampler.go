@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"time"
+)
+
+// Sampler makes the tail-sampling retention decision of the always-on
+// telemetry plane: every run records spans into its bounded flight
+// recorder regardless, but the full Chrome-trace export is retained
+// only for runs that are interesting — they failed, they landed beyond
+// the workflow's tail-latency threshold, or they won the seeded
+// base-rate lottery that keeps a representative trickle of ordinary
+// runs.
+//
+// Decisions are deterministic: the base-rate draw hashes (seed, trace
+// ID) instead of consulting a clock or a global RNG, so two runs of a
+// seeded chaos suite make identical keep/drop choices and the trace
+// fingerprints they compare stay byte-identical. This file is in
+// asvet's wallclock scope — it must never observe time, only the
+// durations it is handed.
+type Sampler struct {
+	seed      int64
+	threshold uint64 // keep when hash < threshold
+}
+
+// SamplerConfig parameterises a Sampler.
+type SamplerConfig struct {
+	// Seed drives the deterministic base-rate draw.
+	Seed int64
+	// Rate is the base keep probability in [0, 1] for runs that neither
+	// failed nor landed in the tail (default 0.01).
+	Rate float64
+}
+
+// NewSampler builds a sampler.
+func NewSampler(cfg SamplerConfig) *Sampler {
+	rate := cfg.Rate
+	if rate == 0 {
+		rate = 0.01
+	}
+	if rate < 0 {
+		rate = 0
+	}
+	var threshold uint64
+	if f := rate * float64(1<<63) * 2; rate >= 1 || f >= float64(math.MaxUint64) {
+		threshold = math.MaxUint64
+	} else {
+		threshold = uint64(f)
+	}
+	return &Sampler{seed: cfg.Seed, threshold: threshold}
+}
+
+// Decision is a sampler verdict: whether to retain the run's full trace
+// export, and why.
+type Decision struct {
+	Keep   bool
+	Reason string // "failed", "tail", "sampled", or "" when dropped
+}
+
+// Decide returns the retention decision for one completed run.
+// tailThreshold is the latency beyond which a run counts as tail
+// (callers derive it from a quantile of the workflow's histogram);
+// zero disables the tail rule — during warm-up there is no estimate
+// yet.
+func (s *Sampler) Decide(traceID string, dur, tailThreshold time.Duration, failed bool) Decision {
+	switch {
+	case failed:
+		return Decision{Keep: true, Reason: "failed"}
+	case tailThreshold > 0 && dur >= tailThreshold:
+		return Decision{Keep: true, Reason: "tail"}
+	case s != nil && s.hash(traceID) < s.threshold:
+		return Decision{Keep: true, Reason: "sampled"}
+	}
+	return Decision{}
+}
+
+// hash mixes the seed and trace ID through FNV-1a and then a
+// murmur3-style finalizer. FNV alone leaves its high bits biased on
+// short structured inputs (sequential trace IDs kept at ~2x the target
+// rate in testing); the avalanche pass makes the threshold comparison
+// honest. Stable across processes and Go versions.
+func (s *Sampler) hash(traceID string) uint64 {
+	h := fnv.New64a()
+	var seed [8]byte
+	binary.LittleEndian.PutUint64(seed[:], uint64(s.seed))
+	h.Write(seed[:])
+	h.Write([]byte(traceID))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestSamplerAlwaysKeepsFailedAndTail(t *testing.T) {
+	s := NewSampler(SamplerConfig{Seed: 1, Rate: 0}) // base rate off
+	if d := s.Decide("x", time.Millisecond, 0, true); !d.Keep || d.Reason != "failed" {
+		t.Fatalf("failed run = %+v", d)
+	}
+	if d := s.Decide("x", time.Second, 500*time.Millisecond, false); !d.Keep || d.Reason != "tail" {
+		t.Fatalf("tail run = %+v", d)
+	}
+	// Ordinary run with zero base rate and no tail threshold: dropped.
+	if d := s.Decide("x", time.Millisecond, 0, false); d.Keep {
+		t.Fatalf("ordinary run kept = %+v", d)
+	}
+}
+
+func TestSamplerDeterministicAcrossInstances(t *testing.T) {
+	a := NewSampler(SamplerConfig{Seed: 42, Rate: 0.2})
+	b := NewSampler(SamplerConfig{Seed: 42, Rate: 0.2})
+	kept := 0
+	for i := 0; i < 1000; i++ {
+		id := fmt.Sprintf("trace-%d", i)
+		da := a.Decide(id, time.Millisecond, 0, false)
+		db := b.Decide(id, time.Millisecond, 0, false)
+		if da != db {
+			t.Fatalf("same seed diverged on %s: %+v vs %+v", id, da, db)
+		}
+		if da.Keep {
+			if da.Reason != "sampled" {
+				t.Fatalf("base-rate keep reason = %q", da.Reason)
+			}
+			kept++
+		}
+	}
+	// ~20% ± a generous band: the draw is a hash, not a coin, but it
+	// should not be wildly biased.
+	if kept < 120 || kept > 280 {
+		t.Fatalf("kept %d of 1000 at rate 0.2", kept)
+	}
+	// A different seed makes different choices somewhere.
+	c := NewSampler(SamplerConfig{Seed: 43, Rate: 0.2})
+	diverged := false
+	for i := 0; i < 1000 && !diverged; i++ {
+		id := fmt.Sprintf("trace-%d", i)
+		diverged = c.Decide(id, time.Millisecond, 0, false) != a.Decide(id, time.Millisecond, 0, false)
+	}
+	if !diverged {
+		t.Fatal("seed 43 made identical decisions to seed 42 over 1000 draws")
+	}
+}
+
+func TestSamplerRateExtremes(t *testing.T) {
+	always := NewSampler(SamplerConfig{Seed: 1, Rate: 1})
+	never := NewSampler(SamplerConfig{Seed: 1, Rate: -1}) // negative clamps to 0
+	for i := 0; i < 100; i++ {
+		id := fmt.Sprintf("t%d", i)
+		if !always.Decide(id, 0, 0, false).Keep {
+			t.Fatalf("rate 1 dropped %s", id)
+		}
+		if never.Decide(id, 0, 0, false).Keep {
+			t.Fatalf("rate 0 kept %s", id)
+		}
+	}
+	// Nil sampler: only failed/tail rules apply.
+	var s *Sampler
+	if s.Decide("x", time.Second, 0, false).Keep {
+		t.Fatal("nil sampler kept an ordinary run")
+	}
+	if !s.Decide("x", time.Second, 0, true).Keep {
+		t.Fatal("nil sampler dropped a failed run")
+	}
+}
+
+func TestSamplerDefaultRate(t *testing.T) {
+	s := NewSampler(SamplerConfig{Seed: 7}) // rate defaults to 0.01
+	kept := 0
+	for i := 0; i < 10000; i++ {
+		if s.Decide(fmt.Sprintf("trace-%d", i), 0, 0, false).Keep {
+			kept++
+		}
+	}
+	if kept < 30 || kept > 300 {
+		t.Fatalf("default rate kept %d of 10000, want ~100", kept)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -58,6 +59,14 @@ type Watchdog struct {
 	// continues it from its last committed stage.
 	Journal *journal.Store
 
+	// Telemetry, when non-nil, is the always-on observability plane:
+	// every invocation runs under a flight-recorder tracer, tail-sampled
+	// trace exports are served from /traces/{id}, per-workflow latency
+	// histograms and SLO burn rates join /metrics, and an SLO breach
+	// flips /healthz to degraded and snapshots profiles. Nil keeps the
+	// watchdog exactly as before (the nil *Telemetry no-ops).
+	Telemetry *Telemetry
+
 	resumed atomic.Int64
 
 	srv       *http.Server
@@ -71,8 +80,9 @@ type Watchdog struct {
 	memPeak   atomic.Uint64
 
 	// lat/transfer aggregate per-invocation observations for /metrics:
-	// an e2e latency digest and the run data planes' transfer counters.
-	lat      *metrics.Recorder
+	// a constant-memory e2e latency histogram (with trace exemplars for
+	// retained runs) and the run data planes' transfer counters.
+	lat      *metrics.Histogram
 	transfer *metrics.TransportStats
 }
 
@@ -124,7 +134,7 @@ func (wd *Watchdog) reject(w http.ResponseWriter, name string, err error, retryA
 func NewWatchdog(v *Visor) *Watchdog {
 	return &Watchdog{
 		visor:    v,
-		lat:      metrics.NewRecorder(),
+		lat:      metrics.NewHistogram(),
 		transfer: metrics.NewTransportStats(),
 	}
 }
@@ -145,6 +155,15 @@ func (wd *Watchdog) Start(addr string) (string, error) {
 	mux.HandleFunc("/runs", wd.handleRuns)
 	mux.HandleFunc("/runs/", wd.handleRunResume)
 	mux.HandleFunc("/metrics", wd.handleMetrics)
+	mux.HandleFunc("/traces/", wd.handleTrace)
+	// Profiling endpoints for anomaly debugging: the custom mux does not
+	// inherit net/http's DefaultServeMux registrations, so wire the pprof
+	// handlers explicitly.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	wd.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go wd.srv.Serve(ln)
 	return ln.Addr().String(), nil
@@ -250,12 +269,29 @@ func (wd *Watchdog) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		})
 		opts.Trace = tracer
 	}
+	// userTrace: the client (or harness) asked for this trace, so the
+	// Chrome export goes inline in the response. When neither did, the
+	// telemetry plane still traces the run into a bounded flight recorder
+	// and decides retention after the fact (tail sampling).
+	userTrace := tracer != nil
+	if !userTrace {
+		if t := wd.Telemetry.StartRun(name); t != nil {
+			tracer = t
+			opts.Trace = t
+		}
+	}
 	wd.inflight.Add(1)
 	invStart := time.Now()
 	res, err := wd.visor.Invoke(name, opts)
-	wd.lat.Record(time.Since(invStart))
+	invDur := time.Since(invStart)
 	wd.inflight.Add(-1)
 	wd.completed.Add(1)
+	rt := wd.Telemetry.ObserveRun(name, tracer, invDur, err)
+	if rt.Retained {
+		wd.lat.ObserveExemplar(invDur, tracer.TraceID())
+	} else {
+		wd.lat.Observe(invDur)
+	}
 	if res != nil {
 		wd.retries.Add(int64(res.Retries))
 		wd.transfer.Merge(res.Transfer)
@@ -301,14 +337,37 @@ func (wd *Watchdog) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		resp.Compensations = res.Compensations
 		resp.Verdict = res.Verdict
 	}
-	if tracer.Enabled() {
+	if userTrace && tracer.Enabled() {
 		if data, terr := trace.ChromeJSON(tracer); terr == nil {
 			resp.Trace = data
 		}
 	}
+	if !userTrace && tracer.Enabled() {
+		// Surface the always-on trace ID so clients can fetch the export
+		// from /traces/{id} if the sampler retained it.
+		resp.TraceID = tracer.TraceID()
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(resp)
+}
+
+// handleTrace serves GET /traces/{id}: the Chrome trace_event JSON of a
+// run the tail sampler retained. 404 for dropped or unknown IDs.
+func (wd *Watchdog) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/traces/")
+	if id == "" {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(wd.Telemetry.TraceIDs())
+		return
+	}
+	data, ok := wd.Telemetry.TraceJSON(id)
+	if !ok {
+		http.Error(w, "trace not retained", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
 }
 
 // handleMetrics serves the Prometheus text exposition: invocation
@@ -390,8 +449,11 @@ func (wd *Watchdog) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		pw.Value("alloystack_compensations_total", float64(js.CompOK), "result", "ok")
 		pw.Value("alloystack_compensations_total", float64(js.CompFailed), "result", "failed")
 	}
-	pw.Summary("alloystack_watchdog_invoke_latency_seconds", wd.lat.Summarize())
+	pw.Histogram("alloystack_watchdog_invoke_latency_seconds",
+		"End-to-end invocation latency across all workflows.", wd.lat)
 	pw.Transport("alloystack_watchdog_transport", wd.transfer)
+	pw.BuildInfo("alloystack_build_info", metrics.CurrentBuild())
+	wd.Telemetry.WriteMetrics(pw)
 }
 
 // handlePools serves warm-pool statistics as JSON (asctl pools).
@@ -489,7 +551,7 @@ func (wd *Watchdog) handleRunResume(w http.ResponseWriter, r *http.Request) {
 	wd.inflight.Add(1)
 	invStart := time.Now()
 	res, err := wd.visor.RunWorkflow(spec, opts)
-	wd.lat.Record(time.Since(invStart))
+	wd.lat.Observe(time.Since(invStart))
 	wd.inflight.Add(-1)
 	wd.completed.Add(1)
 	wd.resumed.Add(1)
@@ -528,6 +590,14 @@ func (wd *Watchdog) handleRunResume(w http.ResponseWriter, r *http.Request) {
 func (wd *Watchdog) Shed() int64 { return wd.shed.Load() }
 
 func (wd *Watchdog) handleHealth(w http.ResponseWriter, r *http.Request) {
+	// Degraded (SLO breach in progress) still answers 200 — the node can
+	// serve — but leads with "degraded" so the gateway's health loop can
+	// deprioritise it in backend rotation.
+	if bad, wfs := wd.Telemetry.Degraded(); bad {
+		fmt.Fprintf(w, "degraded workflows=%s inflight=%d completed=%d\n",
+			strings.Join(wfs, ","), wd.Inflight(), wd.Completed())
+		return
+	}
 	fmt.Fprintf(w, "ok inflight=%d completed=%d\n", wd.Inflight(), wd.Completed())
 }
 
