@@ -53,7 +53,7 @@ func main() {
 	warmPools := flag.Bool("warm-pools", false, "pre-boot warm snapshot/fork pools for Python-runtime workflows")
 	poolMin := flag.Int("pool-min", 1, "minimum warm instances per pool")
 	poolMax := flag.Int("pool-max", 4, "maximum warm instances per pool")
-	traceSample := flag.Float64("trace-sample", 0.01, "base-rate trace retention probability for ordinary runs (failed and tail runs always keep)")
+	traceSample := flag.Float64("trace-sample", 0.01, "base-rate trace retention probability for ordinary runs (failed and tail runs always keep; negative = off)")
 	traceSeed := flag.Int64("trace-seed", 1, "seed for the deterministic trace-sampling draw")
 	sloObjective := flag.Duration("slo-objective", 0, "per-request latency objective enabling SLO burn-rate tracking (0 = off)")
 	sloTarget := flag.Float64("slo-target", 0.99, "fraction of requests that must meet -slo-objective")

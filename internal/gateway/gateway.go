@@ -224,24 +224,40 @@ func (g *Gateway) InvokeQuery(workflow, rawQuery string) ([]byte, error) {
 	defer func() { g.lat.Observe(time.Since(reqStart)) }()
 	n := uint64(len(g.backends))
 	start := g.next.Add(1)
+	// Classify every backend once, against one clock snapshot, before
+	// the pass loop. Pass 0 walks healthy non-degraded backends, pass 1
+	// the degraded-but-up ones (an SLO breach deprioritises a node
+	// without benching it), pass 2 probes the marked-down remainder
+	// (half-open). Re-classifying inside the loop would let a backend
+	// whose state flips mid-request (cooldown expiry, concurrent health
+	// probe) compute a different pass each time and be skipped by all
+	// three; with the snapshot, every backend matches exactly one pass.
+	now := time.Now()
+	want := make([]int, n)
+	for i, b := range g.backends {
+		switch {
+		case b.isDown(now):
+			want[i] = 2
+		case b.isDegraded():
+			want[i] = 1
+		}
+	}
 	var lastErr error
 	var lastBody []byte
 	tried := 0
 	for pass := 0; pass < 3; pass++ {
 		for i := uint64(0); i < n; i++ {
-			b := g.backends[(start+i)%n]
-			// Pass 0 walks healthy non-degraded backends, pass 1 the
-			// degraded-but-up ones (an SLO breach deprioritises a node
-			// without benching it), pass 2 probes the marked-down
-			// remainder (half-open).
-			var want int
-			switch {
-			case b.isDown(time.Now()):
-				want = 2
-			case b.isDegraded():
-				want = 1
+			idx := (start + i) % n
+			b := g.backends[idx]
+			match := pass == want[idx]
+			if pass == 2 && !match {
+				// The half-open pass also re-probes backends whose
+				// breaker tripped during this request (a pass-0/1
+				// forward transport-failed): with a single backend
+				// that is the only recovery path before ErrAllDown.
+				match = b.isDown(time.Now())
 			}
-			if pass != want {
+			if !match {
 				continue
 			}
 			if tried > 0 {
@@ -374,12 +390,13 @@ func (g *Gateway) Start(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// handleMetrics serves the Prometheus text exposition: routed requests,
+// handleMetrics serves the metrics exposition: routed requests,
 // failover count and each backend's circuit-breaker state (1 = in the
-// primary rotation, 0 = tripped).
+// primary rotation, 0 = tripped). The dialect (0.0.4 vs OpenMetrics)
+// is negotiated from the Accept header.
 func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	pw := metrics.NewPromWriter(w)
+	pw, ctype := metrics.NegotiateWriter(w, r.Header.Get("Accept"))
+	w.Header().Set("Content-Type", ctype)
 	pw.Header("alloystack_gateway_requests_total", "counter",
 		"Invocations routed through the gateway.")
 	pw.Value("alloystack_gateway_requests_total", float64(g.requests.Load()))
@@ -420,6 +437,7 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	pw.Histogram("alloystack_gateway_request_latency_seconds",
 		"End-to-end gateway request latency including failovers.", g.lat)
 	pw.BuildInfo("alloystack_build_info", metrics.CurrentBuild())
+	pw.Finish()
 }
 
 // Stop shuts the gateway's HTTP server and health prober down.

@@ -145,9 +145,12 @@ func TestHistogramConcurrent(t *testing.T) {
 	}
 }
 
-// TestHistogramExpositionGolden pins the exact Prometheus text format:
-// sparse cumulative buckets, the mandatory +Inf bucket, exemplar
-// suffixes, _sum and _count.
+// TestHistogramExpositionGolden pins the exact text format of both
+// dialects: sparse cumulative buckets, the mandatory +Inf bucket, _sum
+// and _count. Exemplar suffixes appear only in OpenMetrics — they are
+// illegal in the 0.0.4 text format, whose parser reads the trailing
+// `# {...}` as a malformed timestamp and fails the whole scrape — and
+// the OpenMetrics exposition ends with its mandatory # EOF.
 func TestHistogramExpositionGolden(t *testing.T) {
 	h := NewHistogram()
 	h.ObserveExemplar(40*time.Microsecond, "abc") // below first bound → bucket 0
@@ -156,18 +159,65 @@ func TestHistogramExpositionGolden(t *testing.T) {
 	var sb strings.Builder
 	pw := NewPromWriter(&sb)
 	pw.Histogram("as_test_seconds", "help text.", h, "workflow", "wf")
+	pw.Finish()
 	if err := pw.Err(); err != nil {
 		t.Fatal(err)
 	}
 	want := `# HELP as_test_seconds help text.
 # TYPE as_test_seconds histogram
-as_test_seconds_bucket{workflow="wf",le="5e-05"} 2 # {trace_id="abc"} 4e-05
+as_test_seconds_bucket{workflow="wf",le="5e-05"} 2
 as_test_seconds_bucket{workflow="wf",le="+Inf"} 3
 as_test_seconds_sum{workflow="wf"} 86400.00008
 as_test_seconds_count{workflow="wf"} 3
 `
 	if sb.String() != want {
-		t.Fatalf("exposition drifted:\n--- got ---\n%s--- want ---\n%s", sb.String(), want)
+		t.Fatalf("0.0.4 exposition drifted:\n--- got ---\n%s--- want ---\n%s", sb.String(), want)
+	}
+
+	var om strings.Builder
+	pw = NewOpenMetricsWriter(&om)
+	pw.Histogram("as_test_seconds", "help text.", h, "workflow", "wf")
+	pw.Finish()
+	if err := pw.Err(); err != nil {
+		t.Fatal(err)
+	}
+	wantOM := `# HELP as_test_seconds help text.
+# TYPE as_test_seconds histogram
+as_test_seconds_bucket{workflow="wf",le="5e-05"} 2 # {trace_id="abc"} 4e-05
+as_test_seconds_bucket{workflow="wf",le="+Inf"} 3
+as_test_seconds_sum{workflow="wf"} 86400.00008
+as_test_seconds_count{workflow="wf"} 3
+# EOF
+`
+	if om.String() != wantOM {
+		t.Fatalf("OpenMetrics exposition drifted:\n--- got ---\n%s--- want ---\n%s", om.String(), wantOM)
+	}
+}
+
+// TestNegotiateWriter checks the Accept-header dialect negotiation:
+// only a client that names application/openmetrics-text gets the
+// OpenMetrics exposition (and with it, exemplars).
+func TestNegotiateWriter(t *testing.T) {
+	for accept, wantOM := range map[string]bool{
+		"": false,
+		"text/plain;version=0.0.4": false,
+		"application/openmetrics-text;version=1.0.0;escaping=allow-utf-8": true,
+		"application/openmetrics-text; version=1.0.0, text/plain;version=0.0.4;q=0.5": true,
+		"text/plain, application/openmetrics-text":                                    true,
+	} {
+		var sb strings.Builder
+		pw, ctype := NegotiateWriter(&sb, accept)
+		pw.Finish()
+		gotOM := ctype == ContentTypeOpenMetrics
+		if gotOM != wantOM {
+			t.Fatalf("Accept %q negotiated %q, want OpenMetrics=%v", accept, ctype, wantOM)
+		}
+		if wantOM && sb.String() != "# EOF\n" {
+			t.Fatalf("OpenMetrics Finish wrote %q", sb.String())
+		}
+		if !wantOM && sb.String() != "" {
+			t.Fatalf("0.0.4 Finish wrote %q", sb.String())
+		}
 	}
 }
 

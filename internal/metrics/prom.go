@@ -6,14 +6,34 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 )
 
-// PromWriter renders the Prometheus text exposition format (version
-// 0.0.4, the text format every Prometheus scraper accepts). It is
-// deliberately tiny — the repo vendors no client library — and covers
-// exactly what the watchdog and gateway /metrics endpoints expose:
-// counters, gauges and pre-computed summaries.
+// Exposition content types a /metrics handler can serve.
+const (
+	// ContentTypeProm is the Prometheus 0.0.4 text format — the default
+	// every scraper accepts. Exemplars are not legal in it: a trailing
+	// `# {...}` reads as a malformed timestamp and fails the scrape.
+	ContentTypeProm = "text/plain; version=0.0.4; charset=utf-8"
+	// ContentTypeOpenMetrics is the OpenMetrics text format, negotiated
+	// via the Accept header. It is the only exposition in which exemplar
+	// suffixes are legal, and it must end with a `# EOF` marker
+	// (Finish emits it).
+	ContentTypeOpenMetrics = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+// PromWriter renders a metrics text exposition. It is deliberately
+// tiny — the repo vendors no client library — and covers exactly what
+// the watchdog and gateway /metrics endpoints expose: counters, gauges,
+// pre-computed summaries and histograms.
+//
+// Two dialects share the writer: the default Prometheus 0.0.4 text
+// format (NewPromWriter), in which exemplar suffixes are omitted
+// because the 0.0.4 parser rejects them, and OpenMetrics
+// (NewOpenMetricsWriter, usually via NegotiateWriter), which carries
+// exemplars on histogram buckets and is terminated by Finish's
+// `# EOF`.
 //
 // Usage:
 //
@@ -21,14 +41,53 @@ import (
 //	pw.Header("alloystack_invocations_total", "counter", "completed invocations")
 //	pw.Value("alloystack_invocations_total", 42)
 //	pw.Summary("alloystack_invocation_latency_seconds", rec.Summarize())
+//	pw.Finish()
 //	err := pw.Err()
 type PromWriter struct {
 	w   io.Writer
 	err error
+	om  bool // OpenMetrics dialect: exemplars legal, Finish writes # EOF
 }
 
-// NewPromWriter wraps w.
+// NewPromWriter wraps w, emitting the Prometheus 0.0.4 text format.
 func NewPromWriter(w io.Writer) *PromWriter { return &PromWriter{w: w} }
+
+// NewOpenMetricsWriter wraps w, emitting the OpenMetrics text format:
+// histogram buckets carry their exemplar suffixes and the exposition
+// must be closed with Finish so the mandatory `# EOF` marker lands.
+func NewOpenMetricsWriter(w io.Writer) *PromWriter { return &PromWriter{w: w, om: true} }
+
+// AcceptsOpenMetrics reports whether an HTTP Accept header value asks
+// for the OpenMetrics exposition.
+func AcceptsOpenMetrics(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mediaType, _, _ := strings.Cut(part, ";")
+		if strings.TrimSpace(mediaType) == "application/openmetrics-text" {
+			return true
+		}
+	}
+	return false
+}
+
+// NegotiateWriter picks the exposition dialect for a scrape from its
+// Accept header: OpenMetrics when the client asks for it, the 0.0.4
+// text format otherwise. Returns the writer and the Content-Type the
+// handler must set. The caller must call Finish after the last family.
+func NegotiateWriter(w io.Writer, accept string) (*PromWriter, string) {
+	if AcceptsOpenMetrics(accept) {
+		return NewOpenMetricsWriter(w), ContentTypeOpenMetrics
+	}
+	return NewPromWriter(w), ContentTypeProm
+}
+
+// Finish terminates the exposition. OpenMetrics requires a trailing
+// `# EOF` line; the 0.0.4 text format has no terminator, so this is a
+// no-op there. Call once, after the last family.
+func (p *PromWriter) Finish() {
+	if p.om {
+		p.printf("# EOF\n")
+	}
+}
 
 // Err reports the first write error, if any.
 func (p *PromWriter) Err() error { return p.err }
@@ -66,9 +125,11 @@ func (p *PromWriter) Summary(name string, s Summary, labels ...string) {
 // Histogram emits a histogram family in Prometheus exposition:
 // cumulative _bucket{le="..."} series (sparse — empty buckets are
 // omitted; cumulative counts make that lossless), the mandatory +Inf
-// bucket, then _sum and _count. Buckets carrying an exemplar get the
-// OpenMetrics-style suffix `# {trace_id="..."} <seconds>` so a scrape
-// can point at the retained trace explaining that latency band.
+// bucket, then _sum and _count. In the OpenMetrics dialect only,
+// buckets carrying an exemplar get the suffix
+// `# {trace_id="..."} <seconds>` so a scrape can point at the retained
+// trace explaining that latency band; the 0.0.4 format drops the
+// suffix because its parser would reject the line.
 func (p *PromWriter) Histogram(name, help string, h *Histogram, labels ...string) {
 	p.HistogramSnapshot(name, help, h.Snapshot(), labels...)
 }
@@ -104,7 +165,7 @@ func (p *PromWriter) histogramSeries(name string, s HistogramSnapshot, labels ..
 			le = strconv.FormatFloat(b.UpperSeconds, 'g', -1, 64)
 		}
 		bl := append(append([]string{}, labels...), "le", le)
-		if b.Exemplar.TraceID != "" {
+		if p.om && b.Exemplar.TraceID != "" {
 			p.printf("%s_bucket%s %d # {trace_id=%q} %g\n",
 				name, renderLabels(bl), b.Cumulative,
 				b.Exemplar.TraceID, b.Exemplar.Value.Seconds())

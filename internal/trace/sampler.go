@@ -26,12 +26,22 @@ type Sampler struct {
 	threshold uint64 // keep when hash < threshold
 }
 
+// RateOff disables the base-rate draw when assigned to
+// SamplerConfig.Rate (or TelemetryConfig.SampleRate): only failed and
+// tail runs are retained. Any negative rate means the same thing; the
+// named constant exists because a zero Rate selects the default
+// instead — the zero-value config must stay usable, so "off" has to be
+// asked for explicitly.
+const RateOff = -1
+
 // SamplerConfig parameterises a Sampler.
 type SamplerConfig struct {
 	// Seed drives the deterministic base-rate draw.
 	Seed int64
-	// Rate is the base keep probability in [0, 1] for runs that neither
-	// failed nor landed in the tail (default 0.01).
+	// Rate is the base keep probability in (0, 1] for runs that neither
+	// failed nor landed in the tail. Zero selects the default 0.01;
+	// RateOff (any negative value) disables the base-rate draw
+	// entirely.
 	Rate float64
 }
 

@@ -7,7 +7,7 @@ import (
 )
 
 func TestSamplerAlwaysKeepsFailedAndTail(t *testing.T) {
-	s := NewSampler(SamplerConfig{Seed: 1, Rate: 0}) // base rate off
+	s := NewSampler(SamplerConfig{Seed: 1, Rate: RateOff}) // base rate off
 	if d := s.Decide("x", time.Millisecond, 0, true); !d.Keep || d.Reason != "failed" {
 		t.Fatalf("failed run = %+v", d)
 	}
@@ -57,7 +57,7 @@ func TestSamplerDeterministicAcrossInstances(t *testing.T) {
 
 func TestSamplerRateExtremes(t *testing.T) {
 	always := NewSampler(SamplerConfig{Seed: 1, Rate: 1})
-	never := NewSampler(SamplerConfig{Seed: 1, Rate: -1}) // negative clamps to 0
+	never := NewSampler(SamplerConfig{Seed: 1, Rate: RateOff})
 	for i := 0; i < 100; i++ {
 		id := fmt.Sprintf("t%d", i)
 		if !always.Decide(id, 0, 0, false).Keep {

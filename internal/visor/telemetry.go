@@ -56,7 +56,9 @@ type Telemetry struct {
 // traces, no SLO watching (Objective 0) and no capture directory.
 type TelemetryConfig struct {
 	// SamplerSeed/SampleRate drive the deterministic base-rate trace
-	// retention draw (default rate 0.01).
+	// retention draw. A zero SampleRate selects the default 0.01;
+	// trace.RateOff (any negative value) disables the base-rate draw so
+	// only failed and tail runs are retained.
 	SamplerSeed int64
 	SampleRate  float64
 	// TailQuantile is the histogram quantile beyond which a run's trace
@@ -168,9 +170,11 @@ func (t *Telemetry) slo(workflow string) *metrics.SLO {
 // ObserveRun folds one finished run into the plane: the tail-sampling
 // decision (made against the histogram's state before this run, so the
 // threshold is what a scraper saw), the histogram observation — with
-// the trace ID as a bucket exemplar exactly when the trace was
-// retained, so every exposed exemplar resolves via /traces/{id} — and
-// the SLO, whose breach transition triggers an anomaly capture.
+// the trace ID as a bucket exemplar only when the export actually
+// landed in the trace store, so a freshly scraped exemplar resolves
+// via /traces/{id} (later FIFO eviction can still orphan an old
+// exemplar; scrapers must tolerate a 404 there) — and the SLO, whose
+// breach transition triggers an anomaly capture.
 func (t *Telemetry) ObserveRun(workflow string, tracer *trace.Tracer, dur time.Duration, runErr error) RunTelemetry {
 	if t == nil {
 		return RunTelemetry{}
@@ -185,17 +189,26 @@ func (t *Telemetry) ObserveRun(workflow string, tracer *trace.Tracer, dur time.D
 	t.mu.Unlock()
 
 	dec := t.sampler.Decide(tracer.TraceID(), dur, tail, runErr != nil)
-	if dec.Keep && tracer.Enabled() {
-		if data, err := trace.ChromeJSON(tracer); err == nil {
-			t.traces.put(tracer.TraceID(), data)
-			t.retained.Add(1)
+	stored := false
+	if tracer.Enabled() {
+		if dec.Keep {
+			if data, err := trace.ChromeJSON(tracer); err == nil {
+				stored = t.traces.put(tracer.TraceID(), data)
+			}
 		}
-	} else if tracer.Enabled() {
-		t.dropped.Add(1)
+		if stored {
+			t.retained.Add(1)
+		} else {
+			t.dropped.Add(1)
+		}
 	}
 
+	// The exemplar is installed only once the export is in the store: a
+	// keep decision whose export failed (disabled tracer, ChromeJSON
+	// error, empty trace) must not advertise a trace ID that
+	// /traces/{id} would 404.
 	exemplar := ""
-	if dec.Keep {
+	if stored {
 		exemplar = tracer.TraceID()
 	}
 	h.ObserveExemplar(dur, exemplar)
@@ -285,7 +298,9 @@ func (t *Telemetry) Captures() (int64, string) {
 	return t.captures.Load(), dir
 }
 
-// Retained reports (retained, dropped) trace-export decisions so far.
+// Retained reports (retained, dropped) trace-export outcomes so far:
+// retained counts exports that actually landed in the store, dropped
+// everything else (sampler drops and failed exports alike).
 func (t *Telemetry) Retained() (int64, int64) {
 	if t == nil {
 		return 0, 0
@@ -422,9 +437,11 @@ func newTraceStore(cap int) *traceStore {
 	return &traceStore{cap: cap, data: make(map[string][]byte)}
 }
 
-func (ts *traceStore) put(id string, data []byte) {
+// put stores one export, reporting whether it was actually retained so
+// the caller can gate the histogram exemplar on resolvability.
+func (ts *traceStore) put(id string, data []byte) bool {
 	if id == "" || len(data) == 0 {
-		return
+		return false
 	}
 	ts.mu.Lock()
 	defer ts.mu.Unlock()
@@ -436,6 +453,7 @@ func (ts *traceStore) put(id string, data []byte) {
 		}
 	}
 	ts.data[id] = data
+	return true
 }
 
 func (ts *traceStore) get(id string) ([]byte, bool) {

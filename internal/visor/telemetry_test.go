@@ -92,11 +92,13 @@ func TestTelemetryRetentionRules(t *testing.T) {
 		t.Fatalf("retention counters = %d/%d, want 1/1", retained, dropped)
 	}
 
-	// The only exemplar on the exposition is the retained run's ID: the
-	// dropped run observed with an empty exemplar, which never overwrites.
+	// The only exemplar on the OpenMetrics exposition is the retained
+	// run's ID: the dropped run observed with an empty exemplar, which
+	// never overwrites.
 	var sb strings.Builder
-	pw := metrics.NewPromWriter(&sb)
+	pw := metrics.NewOpenMetricsWriter(&sb)
 	tel.WriteMetrics(pw)
+	pw.Finish()
 	if err := pw.Err(); err != nil {
 		t.Fatal(err)
 	}
@@ -113,6 +115,20 @@ func TestTelemetryRetentionRules(t *testing.T) {
 	if !strings.Contains(body, "alloystack_traces_retained_total 1") ||
 		!strings.Contains(body, "alloystack_traces_dropped_total 1") {
 		t.Fatalf("exposition missing retention counters:\n%s", body)
+	}
+	if !strings.HasSuffix(body, "# EOF\n") {
+		t.Fatalf("OpenMetrics exposition missing # EOF terminator:\n%s", body)
+	}
+
+	// The default 0.0.4 exposition must stay exemplar-free: its parser
+	// rejects exemplar suffixes, so a single one would fail every stock
+	// Prometheus scrape.
+	var plain strings.Builder
+	ppw := metrics.NewPromWriter(&plain)
+	tel.WriteMetrics(ppw)
+	ppw.Finish()
+	if strings.Contains(plain.String(), "trace_id=") {
+		t.Fatalf("0.0.4 exposition carries an exemplar suffix:\n%s", plain.String())
 	}
 }
 
@@ -385,10 +401,11 @@ func TestWatchdogTelemetryEndpoints(t *testing.T) {
 		}
 	}
 
+	// A plain scrape gets the 0.0.4 text format: full histograms, no
+	// exemplar suffixes (they are illegal in that dialect).
 	mb := httpGetBody(t, "http://"+addr+"/metrics")
 	for _, want := range []string{
 		`alloystack_workflow_e2e_seconds_bucket{workflow="pipeline",le="`,
-		`trace_id="` + ir.TraceID + `"`,
 		"alloystack_build_info{",
 		"alloystack_traces_retained_total 1",
 		"alloystack_watchdog_invoke_latency_seconds_count 1",
@@ -396,6 +413,36 @@ func TestWatchdogTelemetryEndpoints(t *testing.T) {
 		if !strings.Contains(mb, want) {
 			t.Fatalf("metrics missing %q:\n%s", want, mb)
 		}
+	}
+	if strings.Contains(mb, "trace_id=") {
+		t.Fatalf("0.0.4 scrape carries an exemplar suffix:\n%s", mb)
+	}
+
+	// An OpenMetrics scrape (Accept-negotiated) carries the exemplar
+	// pointing at the retained trace, and terminates with # EOF.
+	req, err := http.NewRequest(http.MethodGet, "http://"+addr+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "application/openmetrics-text; version=1.0.0")
+	omResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	omBytes, err := io.ReadAll(omResp.Body)
+	omResp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := omResp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/openmetrics-text") {
+		t.Fatalf("OpenMetrics scrape Content-Type = %q", ct)
+	}
+	om := string(omBytes)
+	if !strings.Contains(om, `trace_id="`+ir.TraceID+`"`) {
+		t.Fatalf("OpenMetrics scrape missing exemplar for %s:\n%s", ir.TraceID, om)
+	}
+	if !strings.HasSuffix(om, "# EOF\n") {
+		t.Fatalf("OpenMetrics scrape missing # EOF terminator:\n%s", om)
 	}
 
 	// The pprof surface answers.

@@ -370,12 +370,15 @@ func (wd *Watchdog) handleTrace(w http.ResponseWriter, r *http.Request) {
 	w.Write(data)
 }
 
-// handleMetrics serves the Prometheus text exposition: invocation
-// counters, the end-to-end latency digest and the aggregated transport
-// counters across every run this watchdog has driven.
+// handleMetrics serves the metrics exposition: invocation counters,
+// the end-to-end latency digest and the aggregated transport counters
+// across every run this watchdog has driven. The dialect is negotiated
+// from the Accept header — OpenMetrics scrapes get histogram exemplar
+// suffixes, plain 0.0.4 scrapes get an exemplar-free exposition the
+// stock text parser accepts.
 func (wd *Watchdog) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	pw := metrics.NewPromWriter(w)
+	pw, ctype := metrics.NegotiateWriter(w, r.Header.Get("Accept"))
+	w.Header().Set("Content-Type", ctype)
 	pw.Header("alloystack_watchdog_invocations_total", "counter",
 		"Completed workflow invocations.")
 	pw.Value("alloystack_watchdog_invocations_total", float64(wd.Completed()))
@@ -454,6 +457,7 @@ func (wd *Watchdog) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	pw.Transport("alloystack_watchdog_transport", wd.transfer)
 	pw.BuildInfo("alloystack_build_info", metrics.CurrentBuild())
 	wd.Telemetry.WriteMetrics(pw)
+	pw.Finish()
 }
 
 // handlePools serves warm-pool statistics as JSON (asctl pools).
