@@ -52,18 +52,20 @@ var experiments = map[string]struct {
 		"durable-run journal: crash-resume vs cold re-run, journal overhead"},
 	"obs": {bench.Observability,
 		"always-on telemetry overhead: histograms + tail-sampled tracing on vs off"},
+	"cluster": {bench.Cluster,
+		"cluster plane: rendezvous routing, warm placement and shard budgets at 1/2/4 visors"},
 }
 
 // order runs the cheap experiments first under -exp all.
 var order = []string{
-	"table1", "fig2", "fig10", "engines", "recovery", "coldstart", "crashresume", "obs", "table4",
+	"table1", "fig2", "fig10", "engines", "recovery", "coldstart", "crashresume", "obs", "cluster", "table4",
 	"fig3", "fig11", "fig14", "fig16", "fig15", "fig12", "fig13", "fig17a", "fig17b",
 }
 
 // cheapSet is the CI regression-gate subset: fast to run and dominated
 // by injected (deterministic) costs rather than host scheduling, so the
 // noise band holds on shared runners.
-var cheapSet = []string{"table1", "fig2", "fig10", "recovery", "coldstart", "crashresume", "obs"}
+var cheapSet = []string{"table1", "fig2", "fig10", "recovery", "coldstart", "crashresume", "obs", "cluster"}
 
 func main() {
 	exp := flag.String("exp", "", "experiment id, 'all', or 'cheap' (the CI subset)")

@@ -28,6 +28,7 @@ import (
 	"alloystack/internal/bench"
 	"alloystack/internal/dag"
 	"alloystack/internal/faults"
+	"alloystack/internal/gateway"
 	"alloystack/internal/journal"
 	"alloystack/internal/pool"
 	"alloystack/internal/scan"
@@ -54,6 +55,8 @@ func main() {
 		cmdTop(os.Args[2:])
 	case "pools":
 		cmdPools(os.Args[2:])
+	case "cluster":
+		cmdCluster(os.Args[2:])
 	case "runs":
 		cmdRuns(os.Args[2:])
 	case "resume":
@@ -75,6 +78,7 @@ func usage() {
   asctl trace [-node host:port] [-o trace.json] -id <trace-id>   fetch a tail-sampled trace retained by the node
   asctl top [-node host:port] [-interval 2s] [-once]   live dashboard: latency quantiles, SLO burn, pools, runs
   asctl pools [-node host:port]   show the node's warm-instance pools
+  asctl cluster [-node host:port]   show the gateway's membership view, rendezvous rings and warm-hit rate
   asctl runs [-node host:port]    list journaled runs and their committed progress
   asctl resume [-node host:port] <run-id>   resume an unsealed run from its journal
   asctl perf [-dir bench-results] [-baseline benchmarks/baselines]   summarise recorded BENCH_*.json results`)
@@ -371,6 +375,69 @@ func cmdPools(args []string) {
 		fmt.Printf("%-20s %6d %6d %5d/%-3d %6d %6d %6d %6d %12.0fms\n",
 			s.Workflow, s.Warm, s.Target, s.Min, s.Max,
 			s.Hits, s.Misses, s.Forks, s.Evictions, s.TemplateBoot)
+	}
+}
+
+// cmdCluster queries a gateway's /cluster view and prints the
+// membership table, the router's warm-placement counters and each
+// workflow's rendezvous ring (top choice first, warm holders starred).
+func cmdCluster(args []string) {
+	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
+	node := fs.String("node", "127.0.0.1:8080", "gateway address")
+	fs.Parse(args)
+	resp, err := http.Get(fmt.Sprintf("http://%s/cluster", *node))
+	if err != nil {
+		fatal("cluster: %v", err)
+	}
+	defer resp.Body.Close()
+	var view gateway.ClusterView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		fatal("cluster: decode: %v", err)
+	}
+	if !view.Enabled {
+		fmt.Println("cluster routing not enabled on this gateway (start asvisor -gateway without -no-cluster)")
+		return
+	}
+	s := view.Stats
+	fmt.Printf("nodes %d/%d alive  warm-hit %.0f%% (%d hits, %d misses)  prewarms %d  shard-shed %d\n",
+		s.NodesAlive, s.Nodes, 100*s.WarmHitRate, s.WarmHits, s.WarmMisses, s.Prewarms, s.ShardShed)
+	fmt.Printf("%-22s %-16s %-6s %5s %9s %9s %5s  %s\n",
+		"MEMBER", "ID", "ALIVE", "AGE", "CAPACITY", "INFLIGHT", "WARM", "WORKFLOWS")
+	for _, m := range view.Members {
+		alive := "yes"
+		if !m.Alive {
+			alive = "no"
+		}
+		if m.Info.Degraded {
+			alive += "*"
+		}
+		capacity := "inf"
+		if m.Info.Capacity > 0 {
+			capacity = fmt.Sprint(m.Info.Capacity)
+		}
+		fmt.Printf("%-22s %-16s %-6s %4.0fms %9s %9d %5d  %s\n",
+			m.Addr, m.Info.ID, alive, m.AgeMs, capacity, m.Info.Inflight,
+			len(m.Info.Warm), strings.Join(m.Info.Workflows, ","))
+	}
+	if len(view.Rings) == 0 {
+		return
+	}
+	fmt.Println("rings (top choice first; * = warm template held):")
+	workflows := make([]string, 0, len(view.Rings))
+	for wf := range view.Rings {
+		workflows = append(workflows, wf)
+	}
+	sort.Strings(workflows)
+	for _, wf := range workflows {
+		var parts []string
+		for _, c := range view.Rings[wf] {
+			star := ""
+			if c.Warm {
+				star = "*"
+			}
+			parts = append(parts, fmt.Sprintf("%s%s(w=%.2f)", c.ID, star, c.Weight))
+		}
+		fmt.Printf("  %-20s %s\n", wf, strings.Join(parts, " > "))
 	}
 }
 

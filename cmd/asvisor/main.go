@@ -16,6 +16,12 @@
 // Chaos mode injects deterministic faults into every invocation:
 //
 //	asvisor -chaos 'panic=wc-map:2,kvdrop=5' -chaos-seed 7 -max-retries 3
+//
+// Gateway mode turns the binary into the cluster front end instead of a
+// node: it polls each backend's /cluster advertisement, routes by damped
+// rendezvous hash, and pre-warms the ring's top choice per workflow:
+//
+//	asvisor -gateway 127.0.0.1:8081,127.0.0.1:8082,127.0.0.1:8083 -listen 127.0.0.1:8080
 package main
 
 import (
@@ -26,9 +32,12 @@ import (
 	"path/filepath"
 	"strings"
 	"syscall"
+	"time"
 
+	"alloystack/internal/cluster"
 	"alloystack/internal/dag"
 	"alloystack/internal/faults"
+	"alloystack/internal/gateway"
 	"alloystack/internal/journal"
 	"alloystack/internal/metrics"
 	"alloystack/internal/pool"
@@ -38,7 +47,13 @@ import (
 )
 
 func main() {
-	listen := flag.String("listen", "127.0.0.1:8080", "watchdog listen address")
+	listen := flag.String("listen", "127.0.0.1:8080", "watchdog (or gateway) listen address")
+	gw := flag.String("gateway", "", "run as the cluster gateway over this comma-separated backend list instead of a node")
+	noCluster := flag.Bool("no-cluster", false, "gateway mode: disable rendezvous routing (plain failover list)")
+	healthInterval := flag.Duration("health-interval", 2*time.Second, "gateway mode: health/membership poll interval")
+	shardBudget := flag.Int("shard-budget", 0, "gateway mode: per-workflow concurrent token budget (0 = unlimited)")
+	nodeID := flag.String("node-id", "", "stable node identity advertised on /cluster (default: the listen address)")
+	specListen := flag.String("spec-listen", "127.0.0.1:0", "spec-server listen address for peer pre-warm pulls (empty = off)")
 	dir := flag.String("workflows", "", "directory of workflow JSON configs")
 	inputSize := flag.Int64("input-size", 4<<20, "synthetic input size for file-reading workflows")
 	costScale := flag.Float64("cost-scale", 1.0, "injected platform-cost scale")
@@ -59,6 +74,11 @@ func main() {
 	sloTarget := flag.Float64("slo-target", 0.99, "fraction of requests that must meet -slo-objective")
 	captureDir := flag.String("capture-dir", "", "directory for anomaly captures (profiles + flight recorder) on SLO breach")
 	flag.Parse()
+
+	if *gw != "" {
+		runGateway(*listen, strings.Split(*gw, ","), !*noCluster, *healthInterval, *shardBudget)
+		return
+	}
 
 	var plan *faults.Plan
 	if *chaos != "" {
@@ -202,10 +222,19 @@ func main() {
 		wd.MaxInflight = *maxInflight
 	}
 
-	// Warm pools: boot a template per Python-runtime workflow so
-	// invocations fork from a snapshot instead of cold-starting.
+	// Warm pools: the manager and builder are always wired so the node
+	// can serve POST /pools/prewarm (the gateway's placement sweep);
+	// -warm-pools additionally pre-boots a template per Python-runtime
+	// workflow at startup so invocations fork from a snapshot instead of
+	// cold-starting.
+	mgr := pool.NewManager()
+	wd.Pools = mgr
+	defer mgr.StopAll()
+	wd.PoolBuilder = func(w *dag.Workflow) (pool.Spec, pool.Config, bool) {
+		spec, ok := workloads.PoolSpecFor(w, *inputSize, *costScale)
+		return spec, pool.Config{Min: *poolMin, Max: *poolMax, Seed: *chaosSeed}, ok
+	}
 	if *warmPools {
-		mgr := pool.NewManager()
 		for _, name := range v.Workflows() {
 			w, err := v.Workflow(name)
 			if err != nil {
@@ -229,13 +258,19 @@ func main() {
 			fmt.Printf("warm pool %q: %d instance(s) ready (template boot %.0f ms)\n",
 				name, p.Stats().Warm, p.Stats().TemplateBoot)
 		}
-		wd.Pools = mgr
-		defer mgr.StopAll()
 	}
 
+	wd.NodeID = *nodeID
 	addr, err := wd.Start(*listen)
 	if err != nil {
 		fatal("start watchdog: %v", err)
+	}
+	if *specListen != "" {
+		specAddr, err := wd.StartSpecServer(*specListen)
+		if err != nil {
+			fatal("start spec server: %v", err)
+		}
+		fmt.Printf("spec server on %s (peer pre-warm pulls)\n", specAddr)
 	}
 	fmt.Printf("asvisor listening on http://%s (POST /invoke/{workflow})\n", addr)
 
@@ -244,6 +279,40 @@ func main() {
 	<-sig
 	fmt.Println("shutting down")
 	wd.Stop()
+}
+
+// runGateway serves the cluster front end: health/membership polling
+// over the backend list, rendezvous routing with pre-warm sweeps (unless
+// -no-cluster), and the /invoke, /cluster and /metrics surfaces.
+func runGateway(listen string, backends []string, clustered bool, interval time.Duration, shardBudget int) {
+	for i := range backends {
+		backends[i] = strings.TrimSpace(backends[i])
+	}
+	g, err := gateway.New(backends...)
+	if err != nil {
+		fatal("gateway: %v", err)
+	}
+	if clustered {
+		g.Cluster = cluster.NewRouter(cluster.Config{ShardBudget: shardBudget})
+	}
+	g.CheckHealth()
+	g.StartHealthLoop(interval)
+	addr, err := g.Start(listen)
+	if err != nil {
+		fatal("start gateway: %v", err)
+	}
+	mode := "rendezvous routing"
+	if !clustered {
+		mode = "failover list"
+	}
+	fmt.Printf("asvisor gateway on http://%s (%s over %d backend(s); POST /invoke/{workflow}, GET /cluster)\n",
+		addr, mode, len(backends))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	g.Stop()
 }
 
 func fatal(format string, args ...any) {

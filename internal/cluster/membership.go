@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Member is one node in the membership view: its watchdog address, the
+// last advertisement it served, and whether the last poll reached it.
+type Member struct {
+	// Addr is the node's watchdog HTTP address (the gateway's backend
+	// address for it).
+	Addr string `json:"addr"`
+	// Info is the node's last successfully polled advertisement.
+	Info NodeInfo `json:"info"`
+	// Alive reports whether the most recent poll succeeded.
+	Alive bool `json:"alive"`
+	// AgeMs is how long ago the advertisement was refreshed, on the
+	// membership's clock.
+	AgeMs float64 `json:"age_ms"`
+}
+
+// Membership is the gateway-side view of the fleet, fed by polling
+// each backend's GET /cluster on the health loop. It is passive — a
+// poll failure marks the member dead, a success revives it — and runs
+// entirely on the injected clock.
+type Membership struct {
+	clock func() time.Time
+
+	mu      sync.Mutex
+	members map[string]*memberState // by watchdog addr
+}
+
+type memberState struct {
+	info     NodeInfo
+	alive    bool
+	lastSeen time.Time
+}
+
+// NewMembership builds an empty view on the given clock (nil =
+// time.Now).
+func NewMembership(clock func() time.Time) *Membership {
+	if clock == nil {
+		clock = time.Now //asvet:allow wallclock -- the approved clock injection point
+	}
+	return &Membership{clock: clock, members: make(map[string]*memberState)}
+}
+
+// Update records a successful poll of addr.
+func (m *Membership) Update(addr string, info NodeInfo) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.members[addr]
+	if !ok {
+		st = &memberState{}
+		m.members[addr] = st
+	}
+	st.info = info
+	st.alive = true
+	st.lastSeen = m.clock()
+}
+
+// MarkDead records a failed poll of addr. Unknown addresses are
+// recorded too, so a node that is down from the first probe still
+// shows up in the view.
+func (m *Membership) MarkDead(addr string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.members[addr]
+	if !ok {
+		st = &memberState{}
+		m.members[addr] = st
+	}
+	st.alive = false
+}
+
+// Snapshot returns every member sorted by address.
+func (m *Membership) Snapshot() []Member {
+	now := m.clock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Member, 0, len(m.members))
+	for addr, st := range m.members {
+		age := 0.0
+		if !st.lastSeen.IsZero() {
+			age = float64(now.Sub(st.lastSeen)) / float64(time.Millisecond)
+		}
+		out = append(out, Member{Addr: addr, Info: st.info, Alive: st.alive, AgeMs: age})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// Alive returns the live members sorted by address.
+func (m *Membership) Alive() []Member {
+	all := m.Snapshot()
+	out := all[:0]
+	for _, mem := range all {
+		if mem.Alive {
+			out = append(out, mem)
+		}
+	}
+	return out
+}
+
+// Workflows returns the sorted union of workflow names advertised by
+// live members (registered or warm).
+func (m *Membership) Workflows() []string {
+	set := make(map[string]bool)
+	for _, mem := range m.Alive() {
+		for _, w := range mem.Info.Workflows {
+			set[w] = true
+		}
+		for _, w := range mem.Info.Warm {
+			set[w.Workflow] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for w := range set {
+		out = append(out, w)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,260 @@
+package cluster
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Config tunes the router.
+type Config struct {
+	// DegradedFactor multiplies a member's ranking weight while it
+	// self-reports SLO-degraded (default 0.5). 1.0 disables damping.
+	DegradedFactor float64
+	// LoadDamp scales how strongly advertised load (inflight/capacity)
+	// damps a member's weight: weight /= 1 + LoadDamp*load. Default 1.0
+	// (a saturated node ranks at half weight); 0 disables. Members
+	// advertising unlimited capacity are never load-damped.
+	LoadDamp float64
+	// WarmBoost multiplies the weight of members holding a warm
+	// template for the routed workflow (default 1: placement relies on
+	// rendezvous concentration plus pre-warm, keeping the ring stable;
+	// raise it to pin traffic to warm holders even mid-pre-warm).
+	WarmBoost float64
+	// ShardBudget is the default per-workflow concurrent token budget
+	// at the router (0 = unlimited); ShardBudgetFor overrides per
+	// workflow.
+	ShardBudget    int
+	ShardBudgetFor map[string]int
+	// RetryAfter is the back-off hint shed requests carry (default 1s).
+	RetryAfter time.Duration
+	// Clock is the time source (tests inject a fake; default time.Now).
+	Clock func() time.Time
+}
+
+// Router owns the membership view, the rendezvous ranking and the
+// per-shard admission budget. The gateway consults it per invocation;
+// asctl renders its Stats.
+type Router struct {
+	cfg     Config
+	members *Membership
+	limiter *ShardLimiter
+
+	warmHits   atomic.Int64
+	warmMisses atomic.Int64
+	prewarms   atomic.Int64
+}
+
+// NewRouter builds a router from cfg.
+func NewRouter(cfg Config) *Router {
+	if cfg.DegradedFactor <= 0 || cfg.DegradedFactor > 1 {
+		cfg.DegradedFactor = 0.5
+	}
+	if cfg.LoadDamp < 0 {
+		cfg.LoadDamp = 0
+	} else if cfg.LoadDamp == 0 {
+		cfg.LoadDamp = 1.0
+	}
+	if cfg.WarmBoost <= 0 {
+		cfg.WarmBoost = 1.0
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now //asvet:allow wallclock -- the approved clock injection point
+	}
+	return &Router{
+		cfg:     cfg,
+		members: NewMembership(cfg.Clock),
+		limiter: NewShardLimiter(cfg.ShardBudget, cfg.ShardBudgetFor, cfg.RetryAfter),
+	}
+}
+
+// Membership exposes the view the gateway's health loop feeds.
+func (r *Router) Membership() *Membership { return r.members }
+
+// Limiter exposes the per-shard admission budget.
+func (r *Router) Limiter() *ShardLimiter { return r.limiter }
+
+// Candidate is one ranked routing choice for a workflow.
+type Candidate struct {
+	// Addr is the member's watchdog address (where to forward).
+	Addr string `json:"addr"`
+	// ID is the member's routing identity (what was hashed).
+	ID string `json:"id"`
+	// Warm reports whether the member advertises a sealed warm
+	// template for the routed workflow.
+	Warm bool `json:"warm"`
+	// Weight is the damped rendezvous weight the ranking used.
+	Weight float64 `json:"weight"`
+}
+
+// weightOf computes the member's damped weight for a workflow.
+func (r *Router) weightOf(m Member, workflow string) float64 {
+	w := 1.0
+	if m.Info.Degraded {
+		w *= r.cfg.DegradedFactor
+	}
+	if m.Info.Capacity > 0 && r.cfg.LoadDamp > 0 {
+		load := float64(m.Info.Inflight) / float64(m.Info.Capacity)
+		if load > 0 {
+			w /= 1 + r.cfg.LoadDamp*load
+		}
+	}
+	if r.cfg.WarmBoost != 1.0 && m.Info.HasWarm(workflow) {
+		w *= r.cfg.WarmBoost
+	}
+	return w
+}
+
+// Route ranks the live members for one workflow by damped rendezvous
+// score. An empty result means no member is alive (the caller should
+// fall back or fail).
+func (r *Router) Route(workflow string) []Candidate {
+	alive := r.members.Alive()
+	if len(alive) == 0 {
+		return nil
+	}
+	byID := make(map[string]Member, len(alive))
+	ids := make([]string, 0, len(alive))
+	for _, m := range alive {
+		id := m.Info.ID
+		if id == "" {
+			id = m.Addr
+		}
+		byID[id] = m
+		ids = append(ids, id)
+	}
+	ranked := Rank(workflow, ids, func(id string) float64 {
+		return r.weightOf(byID[id], workflow)
+	})
+	out := make([]Candidate, len(ranked))
+	for i, rk := range ranked {
+		m := byID[rk.ID]
+		out[i] = Candidate{
+			Addr:   m.Addr,
+			ID:     rk.ID,
+			Warm:   m.Info.HasWarm(workflow),
+			Weight: rk.Weight,
+		}
+	}
+	return out
+}
+
+// Admit takes a shard token for the workflow; see ShardLimiter.Acquire.
+func (r *Router) Admit(workflow string) (func(), error) {
+	return r.limiter.Acquire(workflow)
+}
+
+// NoteServed records which member served a routed invocation, feeding
+// the warm-placement hit rate: a hit is a request that landed on a
+// node holding the workflow's sealed template.
+func (r *Router) NoteServed(workflow, addr string) {
+	for _, m := range r.members.Alive() {
+		if m.Addr == addr {
+			if m.Info.HasWarm(workflow) {
+				r.warmHits.Add(1)
+			} else {
+				r.warmMisses.Add(1)
+			}
+			return
+		}
+	}
+	r.warmMisses.Add(1)
+}
+
+// NotePrewarm counts a triggered pre-warm.
+func (r *Router) NotePrewarm() { r.prewarms.Add(1) }
+
+// PrewarmPlan names one pre-warm the gateway should trigger: the
+// top-ranked node for a workflow lacks the workflow's warm template
+// while another live node holds it.
+type PrewarmPlan struct {
+	// Workflow is the under-placed workflow.
+	Workflow string `json:"workflow"`
+	// Target is the watchdog address that should build a pool.
+	Target string `json:"target"`
+	// OwnerSpec is the spec-server address of a live node holding the
+	// template, from which the target can pull the workflow spec (""
+	// when the target already knows the workflow).
+	OwnerSpec string `json:"owner_spec,omitempty"`
+}
+
+// PrewarmPlans computes the pre-warms worth triggering now: for every
+// workflow some live member holds warm, if the rendezvous top for that
+// workflow lacks the template, plan a pre-warm on the top node, fed by
+// the highest-ranked warm holder's spec server.
+func (r *Router) PrewarmPlans() []PrewarmPlan {
+	var plans []PrewarmPlan
+	for _, workflow := range r.members.Workflows() {
+		cands := r.Route(workflow)
+		if len(cands) < 2 || cands[0].Warm {
+			continue
+		}
+		anyWarm := false
+		ownerSpec := ""
+		for _, c := range cands[1:] {
+			if !c.Warm {
+				continue
+			}
+			anyWarm = true
+			if ownerSpec == "" {
+				ownerSpec = r.specAddrOf(c.Addr)
+			}
+		}
+		if !anyWarm {
+			continue // nothing to replicate: no node holds a template
+		}
+		plans = append(plans, PrewarmPlan{
+			Workflow:  workflow,
+			Target:    cands[0].Addr,
+			OwnerSpec: ownerSpec,
+		})
+	}
+	return plans
+}
+
+// specAddrOf looks up a live member's spec-server address.
+func (r *Router) specAddrOf(addr string) string {
+	for _, m := range r.members.Alive() {
+		if m.Addr == addr {
+			return m.Info.SpecAddr
+		}
+	}
+	return ""
+}
+
+// Stats is the router's observability snapshot (gateway /cluster and
+// /metrics, asctl cluster).
+type Stats struct {
+	Nodes      int   `json:"nodes"`
+	NodesAlive int   `json:"nodes_alive"`
+	WarmHits   int64 `json:"warm_hits"`
+	WarmMisses int64 `json:"warm_misses"`
+	Prewarms   int64 `json:"prewarms"`
+	ShardShed  int64 `json:"shard_shed"`
+	// WarmHitRate is hits/(hits+misses), 0 when nothing routed yet.
+	WarmHitRate float64 `json:"warm_hit_rate"`
+}
+
+// Stats snapshots the router's counters.
+func (r *Router) Stats() Stats {
+	all := r.members.Snapshot()
+	alive := 0
+	for _, m := range all {
+		if m.Alive {
+			alive++
+		}
+	}
+	hits, misses := r.warmHits.Load(), r.warmMisses.Load()
+	rate := 0.0
+	if hits+misses > 0 {
+		rate = float64(hits) / float64(hits+misses)
+	}
+	return Stats{
+		Nodes:       len(all),
+		NodesAlive:  alive,
+		WarmHits:    hits,
+		WarmMisses:  misses,
+		Prewarms:    r.prewarms.Load(),
+		ShardShed:   r.limiter.ShedTotal(),
+		WarmHitRate: rate,
+	}
+}

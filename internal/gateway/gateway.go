@@ -10,16 +10,19 @@ package gateway
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"alloystack/internal/cluster"
 	"alloystack/internal/faults"
 	"alloystack/internal/metrics"
 )
@@ -28,6 +31,10 @@ import (
 var (
 	ErrNoBackends = errors.New("gateway: no backends configured")
 	ErrAllDown    = errors.New("gateway: all backends failed")
+	// ErrBreakerOpen marks a backend skipped because its circuit breaker
+	// was open — distinguishable (errors.Is) from a transport failure on
+	// a backend that was actually tried.
+	ErrBreakerOpen = errors.New("gateway: breaker open")
 )
 
 // backendState is one watchdog backend plus its breaker state.
@@ -108,6 +115,22 @@ type Gateway struct {
 	// Faults, when non-nil, is consulted before each forward so a
 	// deterministic plan can simulate downed backends (BackendDown).
 	Faults *faults.Plan
+	// Cluster, when non-nil, replaces round-robin with the cluster
+	// plane: rendezvous-hash routing over the membership view (fed by
+	// the health loop polling each backend's /cluster), per-workflow
+	// shard admission, and warm-placement pre-warm sweeps. When no
+	// member is alive yet the gateway falls back to round-robin.
+	Cluster *cluster.Router
+
+	// extras holds breaker state for backends discovered through the
+	// membership view that are not in the configured list.
+	extraMu sync.Mutex
+	extras  map[string]*backendState
+
+	// prewarming dedupes in-flight pre-warm triggers per (workflow,
+	// target) so overlapping sweeps do not double-build pools.
+	prewarmMu  sync.Mutex
+	prewarming map[string]bool
 
 	failovers atomic.Int64
 	requests  atomic.Int64
@@ -166,7 +189,7 @@ func (g *Gateway) forward(b *backendState, workflow, rawQuery string) ([]byte, e
 	if g.Faults != nil {
 		if err := g.Faults.BackendFail(b.addr); err != nil {
 			b.markDown(g.cooldown(), now)
-			return nil, err, outcomeTransport
+			return nil, fmt.Errorf("gateway: backend %s: %w", b.addr, err), outcomeTransport
 		}
 	}
 	url := fmt.Sprintf("http://%s/invoke/%s", b.addr, workflow)
@@ -176,13 +199,13 @@ func (g *Gateway) forward(b *backendState, workflow, rawQuery string) ([]byte, e
 	resp, err := g.client.Post(url, "application/json", nil)
 	if err != nil {
 		b.markDown(g.cooldown(), now)
-		return nil, err, outcomeTransport
+		return nil, fmt.Errorf("gateway: backend %s: %w", b.addr, err), outcomeTransport
 	}
 	body, err := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if err != nil {
 		b.markDown(g.cooldown(), now)
-		return nil, err, outcomeTransport
+		return nil, fmt.Errorf("gateway: backend %s: %w", b.addr, err), outcomeTransport
 	}
 	switch {
 	case resp.StatusCode < 300:
@@ -222,6 +245,11 @@ func (g *Gateway) InvokeQuery(workflow, rawQuery string) ([]byte, error) {
 	g.requests.Add(1)
 	reqStart := time.Now()
 	defer func() { g.lat.Observe(time.Since(reqStart)) }()
+	if g.Cluster != nil {
+		if body, err, handled := g.invokeCluster(workflow, rawQuery); handled {
+			return body, err
+		}
+	}
 	n := uint64(len(g.backends))
 	start := g.next.Add(1)
 	// Classify every backend once, against one clock snapshot, before
@@ -244,6 +272,11 @@ func (g *Gateway) InvokeQuery(workflow, rawQuery string) ([]byte, error) {
 	}
 	var lastErr error
 	var lastBody []byte
+	// causes keeps the latest failure per backend so a total outage
+	// reports every backend's reason (wrapped, so errors.Is still finds
+	// sentinels like ErrBreakerOpen through the errors.Join below)
+	// instead of whichever error happened to be last.
+	causes := make([]error, n)
 	tried := 0
 	for pass := 0; pass < 3; pass++ {
 		for i := uint64(0); i < n; i++ {
@@ -272,8 +305,10 @@ func (g *Gateway) InvokeQuery(workflow, rawQuery string) ([]byte, error) {
 				return body, err
 			case outcomeBackend, outcomeShed:
 				lastBody, lastErr = body, err
+				causes[idx] = err
 			case outcomeTransport:
 				lastErr = err
+				causes[idx] = err
 			}
 		}
 	}
@@ -282,7 +317,7 @@ func (g *Gateway) InvokeQuery(workflow, rawQuery string) ([]byte, error) {
 		// application layer: surface the response, not ErrAllDown.
 		return lastBody, lastErr
 	}
-	return nil, fmt.Errorf("%w: last error: %v", ErrAllDown, lastErr)
+	return nil, fmt.Errorf("%w: %w", ErrAllDown, errors.Join(causes...))
 }
 
 // Failovers reports how many times a request moved past its first
@@ -322,6 +357,13 @@ func (g *Gateway) CheckHealth() map[string]bool {
 		} else {
 			b.markDown(g.cooldown(), time.Now())
 		}
+	}
+	if g.Cluster != nil {
+		// The cluster plane rides the same loop: refresh the membership
+		// view from each backend's /cluster advertisement, then trigger
+		// any pre-warms the refreshed view calls for.
+		g.pollCluster(client)
+		g.PrewarmSweep()
 	}
 	return g.BackendStatus()
 }
@@ -374,6 +416,22 @@ func (g *Gateway) Start(addr string) (string, error) {
 		}
 		name := r.URL.Path[len("/invoke/"):]
 		body, err := g.InvokeQuery(name, r.URL.RawQuery)
+		var sbe *cluster.ShardBudgetError
+		if errors.As(err, &sbe) {
+			// The workflow's shard budget is exhausted at the gateway:
+			// 429 with the limiter's Retry-After hint, mirroring the
+			// watchdogs' admission-control surface.
+			secs := int(sbe.RetryAfter / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(map[string]string{
+				"workflow": sbe.Workflow, "error": sbe.Error()})
+			return
+		}
 		if err != nil && body == nil {
 			http.Error(w, err.Error(), http.StatusBadGateway)
 			return
@@ -385,6 +443,7 @@ func (g *Gateway) Start(addr string) (string, error) {
 		w.Write(body)
 	})
 	mux.HandleFunc("/metrics", g.handleMetrics)
+	mux.HandleFunc("/cluster", g.handleCluster)
 	g.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go g.srv.Serve(ln)
 	return ln.Addr().String(), nil
@@ -433,6 +492,27 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			deg = 1.0
 		}
 		pw.Value("alloystack_gateway_backend_degraded", deg, "backend", addr)
+	}
+	if g.Cluster != nil {
+		cs := g.Cluster.Stats()
+		pw.Header("alloystack_cluster_nodes", "gauge",
+			"Nodes in the membership view (alive or not).")
+		pw.Value("alloystack_cluster_nodes", float64(cs.Nodes))
+		pw.Header("alloystack_cluster_nodes_alive", "gauge",
+			"Nodes whose last /cluster poll succeeded.")
+		pw.Value("alloystack_cluster_nodes_alive", float64(cs.NodesAlive))
+		pw.Header("alloystack_cluster_warm_hits_total", "counter",
+			"Routed invocations served by a node holding a warm template.")
+		pw.Value("alloystack_cluster_warm_hits_total", float64(cs.WarmHits))
+		pw.Header("alloystack_cluster_warm_misses_total", "counter",
+			"Routed invocations served by a node without a warm template.")
+		pw.Value("alloystack_cluster_warm_misses_total", float64(cs.WarmMisses))
+		pw.Header("alloystack_cluster_prewarms_total", "counter",
+			"Pre-warm builds triggered by placement sweeps.")
+		pw.Value("alloystack_cluster_prewarms_total", float64(cs.Prewarms))
+		pw.Header("alloystack_cluster_shard_shed_total", "counter",
+			"Invocations shed by per-workflow shard budgets (429).")
+		pw.Value("alloystack_cluster_shard_shed_total", float64(cs.ShardShed))
 	}
 	pw.Histogram("alloystack_gateway_request_latency_seconds",
 		"End-to-end gateway request latency including failovers.", g.lat)

@@ -113,6 +113,10 @@ func TestWallClockBenchFixtures(t *testing.T) {
 	runFixture(t, "alloystack__internal__bench", WallClock)
 }
 
+func TestWallClockClusterFixtures(t *testing.T) {
+	runFixture(t, "alloystack__internal__cluster", WallClock)
+}
+
 func TestWallClockMetricsFixtures(t *testing.T) {
 	// Exercises the multi-prefix scope: histogram_fixture.go is in scope
 	// and carries want comments; unscoped.go reads the clock freely and

@@ -1,0 +1,48 @@
+// Package cluster (fixture): the directory name claims the
+// determinism-critical import path alloystack/internal/cluster, so
+// wallclock applies in full — ring ranking and membership ages must
+// replay identically on every gateway replica.
+package cluster
+
+import (
+	"math/rand"
+	"time"
+)
+
+type config struct {
+	Clock func() time.Time
+	Seed  int64
+}
+
+func badMemberAge(c *config, lastSeen time.Time) time.Duration {
+	now := time.Now() // want "wall-clock read time.Now in determinism-critical package"
+	_ = now
+	return time.Since(lastSeen) // want "wall-clock read time.Since in determinism-critical package"
+}
+
+func badRetryDeadline(deadline time.Time) time.Duration {
+	return time.Until(deadline) // want "wall-clock read time.Until in determinism-critical package"
+}
+
+func badTieBreak(candidates []string) string {
+	return candidates[rand.Intn(len(candidates))] // want "global math/rand draw rand.Intn in determinism-critical package"
+}
+
+func goodWaivedInjection(c *config) {
+	if c.Clock == nil {
+		c.Clock = time.Now //asvet:allow wallclock -- the approved injection point
+	}
+}
+
+func goodSeededJitter(c *config) time.Duration {
+	rng := rand.New(rand.NewSource(c.Seed))
+	return time.Duration(rng.Int63n(int64(time.Second))) // seeded *rand.Rand is the mechanism
+}
+
+// goodConsumesTime uses tickers and durations, which consume time
+// rather than observe it — the health loop's cadence is fine.
+func goodConsumesTime() {
+	tk := time.NewTicker(time.Millisecond)
+	defer tk.Stop()
+	time.Sleep(time.Millisecond)
+}

@@ -32,8 +32,14 @@ var wallclockScope = map[string][]string{
 	// experiments replay under test clocks; the sole wall-clock reads
 	// are the default clock + the recorder's RecordedAt stamp, funneled
 	// through one waived wallNow().
-	"alloystack/internal/bench":  nil,
-	"alloystack/internal/faults": nil,
+	"alloystack/internal/bench": nil,
+	// Ring ranking, membership ages and shard budgets must be identical
+	// on every gateway replica and replay under test clocks: the router
+	// and membership view run on one constructor-injected clock (the
+	// waived time.Now defaults), and the rendezvous hash is seedless by
+	// construction.
+	"alloystack/internal/cluster": nil,
+	"alloystack/internal/faults":  nil,
 	// The journal must replay byte-identically: record timestamps come
 	// from the injected Options.Clock, never a direct wall-clock read.
 	"alloystack/internal/journal": nil,

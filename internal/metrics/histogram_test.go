@@ -199,9 +199,9 @@ as_test_seconds_count{workflow="wf"} 3
 // OpenMetrics exposition (and with it, exemplars).
 func TestNegotiateWriter(t *testing.T) {
 	for accept, wantOM := range map[string]bool{
-		"": false,
+		"":                         false,
 		"text/plain;version=0.0.4": false,
-		"application/openmetrics-text;version=1.0.0;escaping=allow-utf-8": true,
+		"application/openmetrics-text;version=1.0.0;escaping=allow-utf-8":             true,
 		"application/openmetrics-text; version=1.0.0, text/plain;version=0.0.4;q=0.5": true,
 		"text/plain, application/openmetrics-text":                                    true,
 	} {

@@ -390,6 +390,9 @@ type Snapshot struct {
 	Latency   map[string]Summary       `json:"latency,omitempty"`
 	Transport map[string]TransportKind `json:"transport,omitempty"`
 	Counters  map[string]int64         `json:"counters,omitempty"`
+	// Gauges carries point-in-time ratios and levels (warm hit rates,
+	// stock sizes) that are neither durations nor monotonic counts.
+	Gauges map[string]float64 `json:"gauges,omitempty"`
 }
 
 // AddLatency records a named latency digest.
@@ -410,6 +413,14 @@ func (s *Snapshot) AddTransport(t *TransportStats) {
 		have.add(k)
 		s.Transport[name] = have
 	}
+}
+
+// AddGauge records a named point-in-time gauge (last write wins).
+func (s *Snapshot) AddGauge(name string, v float64) {
+	if s.Gauges == nil {
+		s.Gauges = make(map[string]float64)
+	}
+	s.Gauges[name] = v
 }
 
 // AddCounter accumulates a named subsystem counter.

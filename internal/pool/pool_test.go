@@ -1,6 +1,7 @@
 package pool
 
 import (
+	"sort"
 	"testing"
 	"time"
 
@@ -262,6 +263,38 @@ func TestManagerIndexesPools(t *testing.T) {
 	st := m.Stats()
 	if len(st) != 2 || st[0].Workflow != "alpha" || st[1].Workflow != "beta" {
 		t.Fatalf("Stats = %+v", st)
+	}
+}
+
+// TestManagerStatsDeterministic locks in the sorted snapshot /pools,
+// asctl pools and the node's /cluster advertisement depend on: pools
+// added in scrambled order must report in workflow order, identically
+// on every scrape — map iteration order must never leak out.
+func TestManagerStatsDeterministic(t *testing.T) {
+	m := NewManager()
+	defer m.StopAll()
+	names := []string{"zeta", "mu", "alpha", "omicron", "beta", "kappa", "nu", "iota"}
+	for _, name := range names {
+		spec, _ := testSpec(t, name)
+		p, err := New(spec, cfg(newFakeClock(), nil))
+		if err != nil {
+			t.Fatalf("New %s: %v", name, err)
+		}
+		m.Add(p)
+	}
+	want := append([]string(nil), names...)
+	sort.Strings(want)
+	for scrape := 0; scrape < 5; scrape++ {
+		st := m.Stats()
+		if len(st) != len(want) {
+			t.Fatalf("scrape %d: %d pools, want %d", scrape, len(st), len(want))
+		}
+		for i, s := range st {
+			if s.Workflow != want[i] {
+				t.Fatalf("scrape %d: Stats[%d].Workflow = %q, want %q (sorted)",
+					scrape, i, s.Workflow, want[i])
+			}
+		}
 	}
 }
 

@@ -1,0 +1,173 @@
+package visor
+
+import (
+	"errors"
+	"testing"
+
+	"alloystack/internal/asstd"
+	"alloystack/internal/dag"
+)
+
+// diamond builds a → {b, c} → d: the smallest workflow where one cut
+// severs two parallel edges and the other leaves a join with both its
+// feeding edges on the far side.
+func diamond() *dag.Workflow {
+	return &dag.Workflow{
+		Name: "diamond",
+		Functions: []dag.FuncSpec{
+			{Name: "a"},
+			{Name: "b", DependsOn: []string{"a"}},
+			{Name: "c", DependsOn: []string{"a"}},
+			{Name: "d", DependsOn: []string{"b", "c"}},
+		},
+	}
+}
+
+// TestSplitAtDiamondAcrossCut covers diamond dependencies spanning the
+// cut: severed edges become import-fed roots, edges wholly on the back
+// side survive, and CrossSlots names exactly the crossing pairs.
+func TestSplitAtDiamondAcrossCut(t *testing.T) {
+	w := diamond()
+
+	// Cut after stage 0: both a→b and a→c cross; b and c become roots
+	// while d keeps its same-side join on b and c.
+	front, back, err := SplitAt(w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(front.Functions) != 1 || front.Functions[0].Name != "a" {
+		t.Fatalf("front = %+v, want just a", front.Functions)
+	}
+	deps := make(map[string][]string)
+	for _, f := range back.Functions {
+		deps[f.Name] = f.DependsOn
+	}
+	if len(deps["b"]) != 0 || len(deps["c"]) != 0 {
+		t.Fatalf("import-fed roots kept severed deps: b=%v c=%v", deps["b"], deps["c"])
+	}
+	if len(deps["d"]) != 2 {
+		t.Fatalf("d lost same-side deps across the cut: %v", deps["d"])
+	}
+	slots, err := CrossSlots(w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{Slot("a", 0, "b", 0): true, Slot("a", 0, "c", 0): true}
+	if len(slots) != len(want) {
+		t.Fatalf("cross slots = %v, want the two a→{b,c} pairs", slots)
+	}
+	for _, s := range slots {
+		if !want[s] {
+			t.Fatalf("unexpected cross slot %q (want %v)", s, want)
+		}
+	}
+
+	// Cut before the join: b→d and c→d cross, d is the lone import-fed
+	// root of the back subgraph.
+	front, back, err = SplitAt(w, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(front.Functions) != 3 || len(back.Functions) != 1 {
+		t.Fatalf("split sizes = %d/%d, want 3/1", len(front.Functions), len(back.Functions))
+	}
+	if d := back.Functions[0]; d.Name != "d" || len(d.DependsOn) != 0 {
+		t.Fatalf("back root = %+v, want d with no deps", d)
+	}
+	slots, err = CrossSlots(w, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = map[string]bool{Slot("b", 0, "d", 0): true, Slot("c", 0, "d", 0): true}
+	if len(slots) != len(want) {
+		t.Fatalf("cross slots = %v, want the two {b,c}→d pairs", slots)
+	}
+	for _, s := range slots {
+		if !want[s] {
+			t.Fatalf("unexpected cross slot %q (want %v)", s, want)
+		}
+	}
+}
+
+// TestSplitRunNoSlotsCross runs a split diamond whose functions never
+// register any boundary buffer: every candidate slot is unused, so the
+// front exports nothing, the back imports nothing, and both halves
+// still run clean — the bridge degrades to a no-op when no data
+// actually crosses the cut.
+func TestSplitRunNoSlotsCross(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{"a", "b", "c", "d"} {
+		r.RegisterNative(name, func(env *asstd.Env, _ FuncContext) error {
+			_, err := asstd.Now(env)
+			return err
+		})
+	}
+	v := New(r)
+	w := diamond()
+	front, back, err := SplitAt(w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cross, err := CrossSlots(w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ro := DefaultRunOptions()
+	ro.CostScale = 0
+	ro.BufHeapSize = 4 << 20
+	ro.ExportSlots = cross
+	res, err := v.RunWorkflow(front, ro)
+	if err != nil {
+		t.Fatalf("front: %v", err)
+	}
+	if len(res.Exports) != 0 {
+		t.Fatalf("exports = %v, want none (no slot was registered)", res.Exports)
+	}
+
+	ro = DefaultRunOptions()
+	ro.CostScale = 0
+	ro.BufHeapSize = 4 << 20
+	ro.ImportSlots = res.Exports
+	if _, err := v.RunWorkflow(back, ro); err != nil {
+		t.Fatalf("back with empty imports: %v", err)
+	}
+}
+
+// TestSplitRejectsCycles covers cycle validation around the cut: a
+// cyclic workflow fails SplitAt up front, and a hand-built back-style
+// subgraph (import-fed roots plus a cycle further down) fails Validate
+// — dropping severed cross-cut edges must never mask a cycle that
+// lives entirely on one side.
+func TestSplitRejectsCycles(t *testing.T) {
+	cyclic := &dag.Workflow{
+		Name: "cyclic",
+		Functions: []dag.FuncSpec{
+			{Name: "a"},
+			{Name: "b", DependsOn: []string{"a", "d"}},
+			{Name: "c", DependsOn: []string{"b"}},
+			{Name: "d", DependsOn: []string{"c"}},
+		},
+	}
+	if _, _, err := SplitAt(cyclic, 1); !errors.Is(err, dag.ErrCycle) {
+		t.Fatalf("SplitAt on cyclic workflow = %v, want ErrCycle", err)
+	}
+	if _, err := CrossSlots(cyclic, 1); !errors.Is(err, dag.ErrCycle) {
+		t.Fatalf("CrossSlots on cyclic workflow = %v, want ErrCycle", err)
+	}
+
+	// The shape a buggy splitter (or a hand-split DAG, the paper's §9
+	// workflow) could produce: a legitimate import-fed root feeding a
+	// back-side cycle.
+	backCycle := &dag.Workflow{
+		Name: "back",
+		Functions: []dag.FuncSpec{
+			{Name: "root"}, // import-fed, no deps — fine
+			{Name: "x", DependsOn: []string{"root", "y"}},
+			{Name: "y", DependsOn: []string{"x"}},
+		},
+	}
+	if err := backCycle.Validate(); !errors.Is(err, dag.ErrCycle) {
+		t.Fatalf("back-subgraph cycle Validate = %v, want ErrCycle", err)
+	}
+}

@@ -10,9 +10,11 @@ import (
 	"net/http/pprof"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"alloystack/internal/dag"
 	"alloystack/internal/journal"
 	"alloystack/internal/metrics"
 	"alloystack/internal/pool"
@@ -59,6 +61,16 @@ type Watchdog struct {
 	// continues it from its last committed stage.
 	Journal *journal.Store
 
+	// NodeID is this node's routing identity on the cluster ring. The
+	// gateway hashes it; it must be stable across restarts for ring
+	// assignments to survive a node bounce (default: the bound address).
+	NodeID string
+
+	// PoolBuilder, when non-nil, lets POST /pools/prewarm build and seal
+	// a warm pool for a workflow this node was asked to pre-warm. It
+	// returns ok=false for workflows that cannot be pooled here.
+	PoolBuilder func(w *dag.Workflow) (pool.Spec, pool.Config, bool)
+
 	// Telemetry, when non-nil, is the always-on observability plane:
 	// every invocation runs under a flight-recorder tracer, tail-sampled
 	// trace exports are served from /traces/{id}, per-workflow latency
@@ -68,6 +80,12 @@ type Watchdog struct {
 	Telemetry *Telemetry
 
 	resumed atomic.Int64
+
+	// Cluster plane: the spec server's listener, the one-build-at-a-time
+	// pre-warm guard, and the pools-built-by-prewarm counter.
+	specLn    net.Listener
+	prewarmMu sync.Mutex
+	prewarmed atomic.Int64
 
 	srv       *http.Server
 	ln        net.Listener
@@ -152,6 +170,8 @@ func (wd *Watchdog) Start(addr string) (string, error) {
 	mux.HandleFunc("/healthz", wd.handleHealth)
 	mux.HandleFunc("/workflows", wd.handleList)
 	mux.HandleFunc("/pools", wd.handlePools)
+	mux.HandleFunc("/pools/prewarm", wd.handlePrewarm)
+	mux.HandleFunc("/cluster", wd.handleCluster)
 	mux.HandleFunc("/runs", wd.handleRuns)
 	mux.HandleFunc("/runs/", wd.handleRunResume)
 	mux.HandleFunc("/metrics", wd.handleMetrics)
@@ -173,6 +193,10 @@ func (wd *Watchdog) Start(addr string) (string, error) {
 // for up to StopGrace before being aborted, so a node restart does not
 // kill running workflows mid-flight.
 func (wd *Watchdog) Stop() error {
+	if wd.specLn != nil {
+		wd.specLn.Close()
+		wd.specLn = nil
+	}
 	if wd.srv == nil {
 		return nil
 	}

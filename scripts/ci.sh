@@ -13,14 +13,18 @@ go build ./...
 go vet ./...
 go run ./cmd/asvet ./...
 go test -short ./...
+# The ./internal/... wildcard includes internal/cluster and the
+# gateway's cluster plane: rendezvous routing, membership, shard
+# admission and the pre-warm protocol all re-run under -race here.
 go test -race -count=1 ./internal/...
 go run ./examples/tracedemo -o trace.json
 # Perf regression gate: run the cheap experiment subset (includes the
-# coldstart and crash-resume arms), record typed BENCH_*.json results,
-# and diff them against the committed baselines with direction-aware
-# noise bands. Journals + spill segments + flight-recorder dumps stay in
-# journal-artifacts/ so a failed run can be replayed offline; the
-# recorded results and the rendered report are uploaded as artifacts.
+# coldstart, crash-resume and cluster arms), record typed BENCH_*.json
+# results, and diff them against the committed baselines with
+# direction-aware noise bands. Journals + spill segments +
+# flight-recorder dumps stay in journal-artifacts/ so a failed run can
+# be replayed offline; the recorded results and the rendered report are
+# uploaded as artifacts.
 # No `| tee` here — a pipe would let the pipeline's exit status mask the
 # comparator's verdict under plain sh.
 bench_status=0
@@ -29,4 +33,7 @@ go run ./cmd/asbench -exp cheap -scale 0.01 \
 	-band 1 -floor-ms 10 \
 	-artifacts journal-artifacts > bench-report.txt 2>&1 || bench_status=$?
 cat bench-report.txt
+# The cluster scale curve (nodes vs p50/p99/warm-hit/ring-stability) is
+# carved out of the report as its own artifact for the PR summary.
+sed -n '/^== cluster:/,/^$/p' bench-report.txt > cluster-scale-curve.txt || true
 exit $bench_status
