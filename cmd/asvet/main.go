@@ -4,12 +4,20 @@
 // paper's §6 threat model on the host code (internal/scan's verifier
 // covers guest images) and runs as a CI gate next to go vet.
 //
+// The per-package analyzers (memgate, pkrupair, senterr, wallclock,
+// spanend, lockpair) check one type-checked package at a time; the
+// module-scoped analyzers (trustflow, lockorder, goleak) load the whole
+// module once — full bodies, dependency order, every package checked
+// exactly once — and walk the interprocedural call graph.
+//
 // Usage:
 //
 //	asvet ./...                  check every package in the module
 //	asvet ./internal/visor       check one package
 //	asvet -run senterr,spanend ./...
 //	asvet -tests=false ./...     skip _test.go analysis units
+//	asvet -json ./...            one JSON diagnostic per line
+//	asvet -github ./...          also emit GitHub ::error annotations
 //	asvet -list                  print the analyzers and exit
 //
 // Exit status: 0 clean, 1 findings reported, 2 usage or load failure.
@@ -18,6 +26,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,15 +40,21 @@ func main() {
 	run := flag.String("run", "", "comma-separated analyzers to run (default all)")
 	tests := flag.Bool("tests", true, "also analyze _test.go units")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	jsonOut := flag.Bool("json", false, "print diagnostics as JSON, one object per line")
+	github := flag.Bool("github", false, "also emit GitHub Actions ::error annotations")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: asvet [-run a,b] [-tests=false] <packages>\n")
+		fmt.Fprintf(os.Stderr, "usage: asvet [-run a,b] [-tests=false] [-json] [-github] <packages>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
 	if *list {
 		for _, a := range lint.Analyzers() {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			scope := "package"
+			if a.RunModule != nil {
+				scope = "module"
+			}
+			fmt.Printf("%-10s [%s] %s\n", a.Name, scope, a.Doc)
 		}
 		return
 	}
@@ -81,7 +96,70 @@ func main() {
 		}
 	}
 
+	needModule := false
+	for _, a := range analyzers {
+		if a.RunModule != nil {
+			needModule = true
+		}
+	}
+
+	emit := func(d lint.Diagnostic) {
+		d.Pos.Filename = relPath(cwd, d.Pos.Filename)
+		if *jsonOut {
+			out, err := json.Marshal(struct {
+				File     string `json:"file"`
+				Line     int    `json:"line"`
+				Col      int    `json:"col"`
+				Analyzer string `json:"analyzer"`
+				Message  string `json:"message"`
+			}{d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message})
+			if err != nil {
+				fatal("encode diagnostic: %v", err)
+			}
+			fmt.Println(string(out))
+		} else {
+			fmt.Println(d)
+		}
+		if *github {
+			// The workflow-command format GitHub turns into PR-diff
+			// annotations, same as the bench comparator's.
+			fmt.Printf("::error file=%s,line=%d,col=%d,title=asvet/%s::%s\n",
+				d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
+	}
+
 	found := 0
+
+	// Module-scoped analyzers: one whole-module load (full bodies,
+	// dependency order — the load also warms the cache the per-package
+	// passes below reuse), findings restricted to the requested dirs.
+	if needModule {
+		pkgs, err := loader.LoadModule()
+		if err != nil {
+			fatal("load module: %v", err)
+		}
+		mod := lint.NewModule(pkgs)
+		inTarget := make(map[string]bool)
+		for _, dir := range dirs {
+			if abs, err := filepath.Abs(dir); err == nil {
+				inTarget[abs] = true
+			}
+		}
+		onlyFiles := make(map[string]bool)
+		for _, pkg := range pkgs {
+			if !inTarget[pkg.Dir] {
+				continue
+			}
+			for _, name := range pkg.Filenames {
+				onlyFiles[name] = true
+			}
+		}
+		for _, d := range lint.RunModuleAnalyzers(mod, analyzers, onlyFiles) {
+			emit(d)
+			found++
+		}
+	}
+
 	for _, dir := range dirs {
 		var pkgs []*lint.Package
 		var only []map[string]bool
@@ -100,8 +178,7 @@ func main() {
 		}
 		for i, pkg := range pkgs {
 			for _, d := range lint.RunAnalyzers(pkg, analyzers, only[i]) {
-				d.Pos.Filename = relPath(cwd, d.Pos.Filename)
-				fmt.Println(d)
+				emit(d)
 				found++
 			}
 		}

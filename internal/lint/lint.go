@@ -26,6 +26,21 @@
 //	          clock or the global math/rand source outside approved
 //	          injection points
 //	spanend   every trace span started must be ended on all paths
+//	lockpair  every sync Lock/RLock must be released on all
+//	          control-flow paths, or the obligation explicitly
+//	          transferred (defer, unlock closure, helper)
+//	trustflow (module-scoped) only trusted code may transitively
+//	          reach raw memory access or PKRU mutation; untrusted
+//	          entry must cross an approved trampoline export
+//	lockorder (module-scoped) named mutexes must be acquired in one
+//	          consistent module-wide order — cycles in the
+//	          acquisition graph are potential deadlocks
+//	goleak    (module-scoped) goroutines spawned in long-lived
+//	          packages must have a reachable termination path
+//
+// The module-scoped analyzers run over the whole module at once and
+// walk the interprocedural call graph (see callgraph.go) instead of a
+// single package.
 //
 // A finding can be waived in place with a trailing or preceding
 // comment:
@@ -39,7 +54,6 @@ import (
 	"go/token"
 	"go/types"
 	"regexp"
-	"sort"
 	"strings"
 )
 
@@ -52,7 +66,14 @@ type Analyzer struct {
 	// poke raw accessors (to prove MPK denies access) and read real
 	// time (to bound wall-clock behaviour).
 	IgnoreTests bool
-	Run         func(*Pass)
+	// Run analyzes one type-checked package at a time. Module-scoped
+	// analyzers leave it nil and set RunModule instead.
+	Run func(*Pass)
+	// RunModule analyzes the whole module at once — it sees every
+	// compiled package plus the interprocedural call graph, which is
+	// what the reachability proofs (trustflow), the lock-order graph
+	// (lockorder) and goroutine-shutdown checks (goleak) need.
+	RunModule func(*ModulePass)
 }
 
 // Pass carries one type-checked package through an analyzer.
@@ -92,7 +113,8 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 }
 
-// Analyzers returns the full suite in a stable order.
+// Analyzers returns the full suite in a stable order: the per-package
+// analyzers first, then the module-scoped (interprocedural) ones.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		MemGate,
@@ -100,6 +122,10 @@ func Analyzers() []*Analyzer {
 		SentErr,
 		WallClock,
 		SpanEnd,
+		LockPair,
+		TrustFlow,
+		LockOrder,
+		GoLeak,
 	}
 }
 
@@ -166,6 +192,9 @@ func allowedLines(fset *token.FileSet, f *ast.File) map[int]map[string]bool {
 func RunAnalyzers(pkg *Package, analyzers []*Analyzer, onlyFiles map[string]bool) []Diagnostic {
 	var diags []Diagnostic
 	for _, a := range analyzers {
+		if a.Run == nil {
+			continue // module-scoped: driven by RunModuleAnalyzers
+		}
 		pass := &Pass{
 			Analyzer:  a,
 			Fset:      pkg.Fset,
@@ -183,38 +212,5 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer, onlyFiles map[string]bool
 	for i, f := range pkg.Files {
 		allowed[pkg.Filenames[i]] = allowedLines(pkg.Fset, f)
 	}
-	byName := make(map[string]*Analyzer)
-	for _, a := range analyzers {
-		byName[a.Name] = a
-	}
-
-	kept := diags[:0]
-	for _, d := range diags {
-		if onlyFiles != nil && !onlyFiles[d.Pos.Filename] {
-			continue
-		}
-		if a := byName[d.Analyzer]; a != nil && a.IgnoreTests && strings.HasSuffix(d.Pos.Filename, "_test.go") {
-			continue
-		}
-		if lines := allowed[d.Pos.Filename]; lines != nil {
-			if names := lines[d.Pos.Line]; names[d.Analyzer] {
-				continue
-			}
-		}
-		kept = append(kept, d)
-	}
-	sort.Slice(kept, func(i, j int) bool {
-		a, b := kept[i], kept[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
-		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
-		}
-		if a.Pos.Column != b.Pos.Column {
-			return a.Pos.Column < b.Pos.Column
-		}
-		return a.Analyzer < b.Analyzer
-	})
-	return kept
+	return filterAndSort(diags, allowed, analyzers, onlyFiles)
 }

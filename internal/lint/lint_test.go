@@ -204,3 +204,56 @@ var b = 2 //asvet:allow senterr, spanend
 		}
 	}
 }
+
+func TestWaiverCommentEdgeCases(t *testing.T) {
+	fset := token.NewFileSet()
+	// Line 3: comma list without spaces. Line 5: em-dash reason.
+	// Line 7: waiver trailing the flagged statement (covers its own
+	// line). Line 9: reason containing "--" again after the separator.
+	src := `package p
+
+//asvet:allow memgate,trustflow,goleak -- tight list
+var a = 1
+
+//asvet:allow lockpair — em-dash separator, reason with punctuation
+var b = 2
+
+var c = 3 //asvet:allow lockorder -- trailing form
+
+//asvet:allow spanend -- reason -- with a second dash-dash
+var d = 4
+`
+	f, err := parser.ParseFile(fset, "w.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := allowedLines(fset, f)
+	for _, tc := range []struct {
+		line int
+		name string
+		ok   bool
+	}{
+		// Comma list without spaces: every named analyzer is waived.
+		{4, "memgate", true},
+		{4, "trustflow", true},
+		{4, "goleak", true},
+		{4, "lockpair", false},
+		// Em-dash separator works like "--".
+		{6, "lockpair", true},
+		{7, "lockpair", true},
+		// Trailing waiver covers its own line N and N+1, but never N-1:
+		// coverage extends forward only, so a waiver can trail the
+		// flagged statement or precede it, not follow on the line after.
+		{9, "lockorder", true},
+		{10, "lockorder", true},
+		{8, "lockorder", false},
+		// A second "--" inside the reason does not confuse the parse.
+		{12, "spanend", true},
+		// Coverage ends after N+1.
+		{13, "spanend", false},
+	} {
+		if got := lines[tc.line][tc.name]; got != tc.ok {
+			t.Errorf("line %d analyzer %s: waived=%v, want %v", tc.line, tc.name, got, tc.ok)
+		}
+	}
+}

@@ -37,6 +37,14 @@ type Loader struct {
 	fset *token.FileSet
 	std  types.Importer
 	deps map[string]*types.Package
+	// full caches fully-body-checked packages by import path. LoadModule
+	// fills it in dependency order (seeding deps with the same
+	// *types.Package objects), so every module package is type-checked at
+	// most once per asvet invocation: the module-wide pass, the
+	// per-package analyzers and the _test.go re-checks all share one set
+	// of type objects, which also keeps cross-package object identity
+	// stable for the call graph.
+	full map[string]*Package
 }
 
 // NewLoader builds a loader rooted at the module containing dir.
@@ -52,6 +60,7 @@ func NewLoader(dir string) (*Loader, error) {
 		fset:       fset,
 		std:        importer.ForCompiler(fset, "source", nil),
 		deps:       make(map[string]*types.Package),
+		full:       make(map[string]*Package),
 	}, nil
 }
 
@@ -111,9 +120,10 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 
 // file classes for parseDir.
 const (
-	includeCompiled  = iota // non-test files only
-	includeInPkgTest        // non-test + same-package _test.go
-	includeExtTest          // package foo_test _test.go files only
+	includeCompiled      = iota // non-test files only
+	includeInPkgTest            // non-test + same-package _test.go
+	includeExtTest              // package foo_test _test.go files only
+	includeInPkgTestOnly        // same-package _test.go files only
 )
 
 func (l *Loader) parseDir(dir string, class int) ([]*ast.File, []string, error) {
@@ -132,7 +142,7 @@ func (l *Loader) parseDir(dir string, class int) ([]*ast.File, []string, error) 
 			if isTest {
 				continue
 			}
-		case includeExtTest:
+		case includeExtTest, includeInPkgTestOnly:
 			if !isTest {
 				continue
 			}
@@ -153,7 +163,7 @@ func (l *Loader) parseDir(dir string, class int) ([]*ast.File, []string, error) 
 		isTest := strings.HasSuffix(name, "_test.go")
 		ext := strings.HasSuffix(pkgName, "_test")
 		switch class {
-		case includeCompiled, includeInPkgTest:
+		case includeCompiled, includeInPkgTest, includeInPkgTestOnly:
 			if isTest && ext {
 				continue // external test package: separate unit
 			}
@@ -204,7 +214,8 @@ func (l *Loader) check(pkgPath string, files []*ast.File, names []string, dir st
 
 // LoadDir type-checks the package in dir (with full bodies and type
 // info) under the given import path. pkgPath "" derives the path from
-// the directory's location in the module.
+// the directory's location in the module. Packages already checked by
+// LoadModule are returned from the cache without re-checking.
 func (l *Loader) LoadDir(dir, pkgPath string) (*Package, error) {
 	abs, err := filepath.Abs(dir)
 	if err != nil {
@@ -212,6 +223,9 @@ func (l *Loader) LoadDir(dir, pkgPath string) (*Package, error) {
 	}
 	if pkgPath == "" {
 		pkgPath = l.pathFor(abs)
+	}
+	if pkg, ok := l.full[pkgPath]; ok && pkg.Dir == abs {
+		return pkg, nil
 	}
 	files, names, err := l.parseDir(abs, includeCompiled)
 	if err != nil {
@@ -221,6 +235,86 @@ func (l *Loader) LoadDir(dir, pkgPath string) (*Package, error) {
 		return nil, fmt.Errorf("lint: no Go files in %s", abs)
 	}
 	return l.check(pkgPath, files, names, abs)
+}
+
+// LoadModule parses every package directory under the module root,
+// orders them by their module-internal import edges, and full-body
+// type-checks each exactly once, seeding the dependency cache as it
+// goes. The returned packages power the module-wide analyzers; later
+// LoadDir/LoadDirUnits calls for the same paths reuse them instead of
+// re-typechecking shared dependencies per root.
+func (l *Loader) LoadModule() ([]*Package, error) {
+	dirs, err := PackageDirs(l.ModuleRoot)
+	if err != nil {
+		return nil, err
+	}
+	type parsed struct {
+		dir     string
+		pkgPath string
+		files   []*ast.File
+		names   []string
+		imports []string
+	}
+	byPath := make(map[string]*parsed, len(dirs))
+	var order []string
+	for _, dir := range dirs {
+		files, names, err := l.parseDir(dir, includeCompiled)
+		if err != nil {
+			return nil, err
+		}
+		if len(files) == 0 {
+			continue // test-only directory
+		}
+		p := &parsed{dir: dir, pkgPath: l.pathFor(dir), files: files, names: names}
+		for _, f := range files {
+			for _, imp := range f.Imports {
+				path := strings.Trim(imp.Path.Value, `"`)
+				if path == l.ModuleName || strings.HasPrefix(path, l.ModuleName+"/") {
+					p.imports = append(p.imports, path)
+				}
+			}
+		}
+		byPath[p.pkgPath] = p
+		order = append(order, p.pkgPath)
+	}
+
+	// Topological order over module-internal imports: dependencies are
+	// checked before their importers, so conf.Check never needs to
+	// signature-check a module package on its own — Import always hits
+	// the cache of full checks.
+	var pkgs []*Package
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(path string) error
+	visit = func(path string) error {
+		p, ok := byPath[path]
+		if !ok || state[path] == 2 {
+			return nil
+		}
+		if state[path] == 1 {
+			return fmt.Errorf("lint: import cycle through %s", path)
+		}
+		state[path] = 1
+		for _, dep := range p.imports {
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[path] = 2
+		pkg, err := l.check(path, p.files, p.names, p.dir)
+		if err != nil {
+			return err
+		}
+		l.full[path] = pkg
+		l.deps[path] = pkg.Types
+		pkgs = append(pkgs, pkg)
+		return nil
+	}
+	for _, path := range order {
+		if err := visit(path); err != nil {
+			return nil, err
+		}
+	}
+	return pkgs, nil
 }
 
 // LoadDirUnits returns every analysis unit in dir: the plain package,
@@ -238,33 +332,43 @@ func (l *Loader) LoadDirUnits(dir string) ([]*Package, []map[string]bool, error)
 	var units []*Package
 	var only []map[string]bool
 
-	base, baseNames, err := l.parseDir(abs, includeCompiled)
-	if err != nil {
-		return nil, nil, err
-	}
-	if len(base) > 0 {
-		pkg, err := l.check(pkgPath, base, baseNames, abs)
+	var base []*ast.File
+	var baseNames []string
+	if pkg, ok := l.full[pkgPath]; ok && pkg.Dir == abs {
+		// LoadModule already checked the compiled unit; reuse it and its
+		// parsed files, so only the _test.go files are parsed fresh below.
+		base, baseNames = pkg.Files, pkg.Filenames
+		units = append(units, pkg)
+		only = append(only, nil)
+	} else {
+		base, baseNames, err = l.parseDir(abs, includeCompiled)
 		if err != nil {
 			return nil, nil, err
 		}
-		units = append(units, pkg)
-		only = append(only, nil)
+		if len(base) > 0 {
+			pkg, err := l.check(pkgPath, base, baseNames, abs)
+			if err != nil {
+				return nil, nil, err
+			}
+			units = append(units, pkg)
+			only = append(only, nil)
+		}
 	}
 
-	withTests, wtNames, err := l.parseDir(abs, includeInPkgTest)
+	inTests, itNames, err := l.parseDir(abs, includeInPkgTestOnly)
 	if err != nil {
 		return nil, nil, err
 	}
-	if len(wtNames) > len(baseNames) {
+	if len(inTests) > 0 {
+		withTests := append(append([]*ast.File{}, base...), inTests...)
+		wtNames := append(append([]string{}, baseNames...), itNames...)
 		pkg, err := l.check(pkgPath, withTests, wtNames, abs)
 		if err != nil {
 			return nil, nil, err
 		}
 		testOnly := make(map[string]bool)
-		for _, n := range wtNames {
-			if strings.HasSuffix(n, "_test.go") {
-				testOnly[n] = true
-			}
+		for _, n := range itNames {
+			testOnly[n] = true
 		}
 		units = append(units, pkg)
 		only = append(only, testOnly)

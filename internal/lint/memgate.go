@@ -46,12 +46,13 @@ func runMemGate(pass *Pass) {
 		return
 	}
 	for _, f := range pass.Files {
+		parents := buildParents(f)
 		ast.Inspect(f, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
+			sel, ok := n.(*ast.SelectorExpr)
 			if !ok {
 				return true
 			}
-			obj := calleeOf(pass.Info, call)
+			obj := pass.Info.Uses[sel.Sel]
 			if obj == nil {
 				return true
 			}
@@ -59,9 +60,28 @@ func runMemGate(pass *Pass) {
 			if !ok {
 				return true
 			}
-			if hint, gated := memgateGated[recv][name]; gated {
+			hint, gated := memgateGated[recv][name]
+			if !gated {
+				return true
+			}
+			// Call position (`space.ReadAt(...)`) or value position
+			// (`f := space.ReadAt`) — the latter is the escape hatch that
+			// smuggles raw power past call-site checks, so it is flagged too.
+			var up ast.Node = sel
+			for {
+				p, isParen := parents[up].(*ast.ParenExpr)
+				if !isParen {
+					break
+				}
+				up = p
+			}
+			if call, isCall := parents[up].(*ast.CallExpr); isCall && unparen(call.Fun) == sel {
 				pass.Reportf(call.Pos(),
 					"raw %s.%s outside the trusted partition; %s", recv, name, hint)
+			} else {
+				pass.Reportf(sel.Pos(),
+					"reference to raw %s.%s outside the trusted partition "+
+						"(method value escapes the gate); %s", recv, name, hint)
 			}
 			return true
 		})

@@ -1,0 +1,24 @@
+// Package asstd is a trustflow fixture standing in for the checked
+// trampoline layer. The directory name claims the import path
+// alloystack/internal/asstd, which is on trustflow's approved list —
+// untrusted code calling Read/Write below must stay quiet even though
+// both bodies reach gated operations.
+package asstd
+
+import "alloystack/internal/mem"
+
+// Read is the approved checked entry to Space.ReadAt.
+func Read(s *mem.Space, p []byte, off int) error {
+	if off < 0 || off+len(p) > s.Len() {
+		return nil // fixture stand-in for the bounds fault
+	}
+	return s.ReadAt(p, off)
+}
+
+// Write is the approved checked entry to Space.WriteAt.
+func Write(s *mem.Space, p []byte, off int) error {
+	if off < 0 || off+len(p) > s.Len() {
+		return nil
+	}
+	return s.WriteAt(p, off)
+}

@@ -1,0 +1,79 @@
+// Package lockorder_user is a lockorder fixture: two mutex pairs nested
+// in opposite orders — one inversion direct, one through a callee — and
+// a consistently ordered pair that must stay quiet.
+package lockorder_user
+
+import "sync"
+
+var (
+	muA sync.Mutex
+	muB sync.RWMutex
+
+	muC sync.Mutex
+	muD sync.Mutex
+
+	muX sync.Mutex
+	muY sync.Mutex
+)
+
+// orderAB establishes A before B (the deferred unlock keeps A held for
+// ordering purposes). The cycle diagnostic is anchored at this edge's
+// witness: the nested acquisition below.
+func orderAB() {
+	muA.Lock()
+	defer muA.Unlock()
+	muB.RLock() // want "lock-order cycle .potential deadlock.: lockorder_user.muA -> lockorder_user.muB in lockorder_user.orderAB"
+	muB.RUnlock()
+}
+
+// orderBA is the inversion: B before A.
+func orderBA() {
+	muB.Lock()
+	muA.Lock()
+	muA.Unlock()
+	muB.Unlock()
+}
+
+// orderCD nests through a call: C is held while lockD acquires D.
+func orderCD() {
+	muC.Lock()
+	defer muC.Unlock()
+	lockD() // want "lock-order cycle .potential deadlock.: lockorder_user.muC -> lockorder_user.muD in lockorder_user.orderCD calls lockD"
+}
+
+func lockD() {
+	muD.Lock()
+	muD.Unlock()
+}
+
+// orderDC is the direct inversion of the C/D pair.
+func orderDC() {
+	muD.Lock()
+	muC.Lock()
+	muC.Unlock()
+	muD.Unlock()
+}
+
+// consistentOne and consistentTwo both take X before Y: no cycle, no
+// report.
+func consistentOne() {
+	muX.Lock()
+	muY.Lock()
+	muY.Unlock()
+	muX.Unlock()
+}
+
+func consistentTwo() {
+	muX.Lock()
+	defer muX.Unlock()
+	muY.Lock()
+	defer muY.Unlock()
+}
+
+// sequential releases X before taking Y: no nesting, no edge.
+func sequential() {
+	muY.Lock()
+	muY.Unlock()
+	muX.Lock()
+	muX.Unlock()
+}

@@ -1,0 +1,116 @@
+// Package lockpair_user is a lockpair fixture: acquisitions that leak
+// on an early return, releases on all paths, and the obligation
+// transfers (defer, unlock closure, method value, helper) that must
+// stay quiet.
+package lockpair_user
+
+import "sync"
+
+// Store is the fixture's locked component.
+type Store struct {
+	mu  sync.Mutex
+	rw  sync.RWMutex
+	n   int
+	hot bool
+}
+
+// leakyEarlyReturn drops the lock on the error path.
+func (s *Store) leakyEarlyReturn(fail bool) error {
+	s.mu.Lock() // want "s.mu.Lock is not Unlocked on all paths to return"
+	if fail {
+		return errFixture
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// leakyReadLock forgets the RUnlock on one branch.
+func (s *Store) leakyReadLock() int {
+	s.rw.RLock() // want "s.rw.RLock is not RUnlocked on all paths to return"
+	if s.hot {
+		return 0
+	}
+	n := s.n
+	s.rw.RUnlock()
+	return n
+}
+
+// mismatchedRelease pairs Lock with RUnlock: the write lock is never
+// released.
+func (s *Store) mismatchedRelease() {
+	s.rw.Lock() // want "s.rw.Lock is not Unlocked on all paths to return"
+	s.n++
+	s.rw.RUnlock()
+}
+
+// deferred is the canonical quiet shape.
+func (s *Store) deferred() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// allPaths releases explicitly on every branch: quiet.
+func (s *Store) allPaths(fast bool) int {
+	s.mu.Lock()
+	if fast {
+		s.mu.Unlock()
+		return 0
+	}
+	n := s.n
+	s.mu.Unlock()
+	return n
+}
+
+// transferClosure hands the release obligation to a returned closure:
+// quiet (the caller owns the unlock).
+func (s *Store) transferClosure() func() {
+	s.mu.Lock()
+	s.n++
+	return func() { s.mu.Unlock() }
+}
+
+// transferMethodValue returns the unlock itself as a value: quiet.
+func (s *Store) transferMethodValue() func() {
+	s.rw.RLock()
+	return s.rw.RUnlock
+}
+
+// transferHelper discharges through a same-package helper whose body
+// releases the same field: quiet.
+func (s *Store) transferHelper() {
+	s.mu.Lock()
+	s.drainAndUnlock()
+}
+
+// deferredHelper defers the releasing helper: quiet.
+func (s *Store) deferredHelper() int {
+	s.mu.Lock()
+	defer s.drainAndUnlock()
+	return s.n
+}
+
+func (s *Store) drainAndUnlock() {
+	s.n = 0
+	s.mu.Unlock()
+}
+
+// untracked receivers (index expressions) are skipped, not reported:
+// identity cannot be proven textually.
+func pickLocked(stores []*Store, i int) int {
+	stores[i].mu.Lock()
+	n := stores[i].n
+	stores[i].mu.Unlock()
+	return n
+}
+
+// waived keeps an acknowledged intentional leak.
+func (s *Store) waived() {
+	s.mu.Lock() //asvet:allow lockpair -- fixture-approved permanent freeze
+}
+
+var errFixture = errInstance{}
+
+type errInstance struct{}
+
+func (errInstance) Error() string { return "fixture" }

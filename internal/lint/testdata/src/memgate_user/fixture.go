@@ -30,3 +30,25 @@ func ungatedFine(sp *mem.Space, ctx *mpk.Context) uint64 {
 	_ = ctx.ReadPKRU()
 	return sp.Forks()
 }
+
+// escapeHatch exercises the value-position escape: binding a gated
+// method (or method expression) without calling it smuggles raw power
+// past call-site checks and must be flagged.
+func escapeHatch(sp *mem.Space) func(mem.Access, uint64, []byte) error {
+	f := sp.ReadAt // want "reference to raw alloystack/internal/mem.Space.ReadAt outside the trusted partition .method value escapes the gate."
+	_ = f
+	g := (*mem.Space).WriteAt // want "reference to raw alloystack/internal/mem.Space.WriteAt outside the trusted partition"
+	_ = g
+	return sp.ReadAt // want "reference to raw alloystack/internal/mem.Space.ReadAt outside the trusted partition"
+}
+
+// parenCall is still a call, not an escaping method value: the message
+// must be the call-position one.
+func parenCall(sp *mem.Space, buf []byte) error {
+	return (sp.ReadAt)(nil, 0, buf) // want "raw alloystack/internal/mem.Space.ReadAt outside the trusted partition; use asstd"
+}
+
+// valueWaived shows the waiver covering a value-position reference.
+func valueWaived(sp *mem.Space) func() *mem.Space {
+	return sp.Fork //asvet:allow memgate -- fixture-approved fork factory
+}

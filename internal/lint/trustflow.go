@@ -1,0 +1,197 @@
+package lint
+
+import (
+	"sort"
+	"strings"
+)
+
+// sortedKeys returns m's keys in lexical order, for deterministic
+// worklist seeding (witness paths must not vary run to run).
+func sortedKeys(m map[string]bool) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TrustFlow is the interprocedural half of the memory gate — the
+// static side of the window-minting proof the data-plane fast path
+// (ROADMAP item 3) depends on, after ERIM's binary-inspection argument:
+// before check-free access windows are handed out over virtualized
+// protection keys, we must know that *only* trusted code can
+// transitively reach a raw memory access or a PKRU write.
+//
+// Where memgate checks each call site in isolation, trustflow walks the
+// module call graph: it computes the set of functions from which a
+// gated operation (mem.Space.ReadAt/WriteAt/Fork, mpk.Context.WritePKRU)
+// is reachable without passing an approved trampoline, then reports
+// every edge where untrusted code enters that set — a direct raw call,
+// a gated method taken as a value, or a call into a trusted-partition
+// export that wraps raw power without being on the approved gate list.
+// Each finding carries a witness path down to the gated operation.
+//
+// Soundness relies on the call-graph over-approximation documented in
+// callgraph.go (reflection-free module; address-taken and interface
+// dispatch edges are conservative).
+var TrustFlow = &Analyzer{
+	Name: "trustflow",
+	Doc: "only trusted code may transitively reach raw memory access or " +
+		"PKRU mutation; untrusted entry must cross an approved trampoline export",
+	RunModule: runTrustFlow,
+}
+
+// trustflowApproved is the audited gate surface: the trampoline exports
+// untrusted code is allowed to cross. An entry either names one
+// function ("pkgpath.Type.Method") or a whole package's API
+// ("pkgpath.*"). Gated operations themselves are never approvable.
+//
+// This list IS the proof artifact — every addition widens the trusted
+// gate surface and needs the same scrutiny as a new syscall.
+var trustflowApproved = map[string]string{
+	// The checked-trampoline layer itself: every export crosses domains
+	// via enterSys/leaveSys pairs (pkrupair-enforced) and validates
+	// buffer bounds before touching the space. This is the as-std API
+	// the paper's §6 gate argument is about.
+	"alloystack/internal/asstd.*": "the checked trampoline layer — bounds-validated, PKRU-paired",
+	// The visor core assembles WFDs and owns instance lifecycle: forking
+	// templates, running functions under fault isolation. Its exports
+	// are the sanctioned lifecycle entry points (memgate's own fix hint
+	// points at core.WFD.Fork / the warm pool).
+	"alloystack/internal/core.*": "WFD lifecycle API — forks and runs instances under the gate",
+	// The LibOS service modules sit inside the trusted partition and are
+	// invoked through the syscall surface they implement.
+	"alloystack/internal/libos.*": "LibOS service modules behind the syscall surface",
+}
+
+// trustflowGated returns the node IDs of the raw operations, derived
+// from memgate's table so the two analyzers can never drift apart.
+func trustflowGated() map[string]bool {
+	gated := make(map[string]bool)
+	for recv, methods := range memgateGated {
+		for m := range methods {
+			gated[recv+"."+m] = true
+		}
+	}
+	return gated
+}
+
+// trustflowIsApproved reports whether the node is on the approved
+// trampoline list (and not itself a gated operation).
+func trustflowIsApproved(n *CGNode, gated map[string]bool) bool {
+	if gated[n.ID] {
+		return false
+	}
+	if _, ok := trustflowApproved[n.ID]; ok {
+		return true
+	}
+	_, ok := trustflowApproved[n.PkgPath+".*"]
+	return ok
+}
+
+func runTrustFlow(pass *ModulePass) {
+	g := pass.Module.Graph
+	gated := trustflowGated()
+
+	// reach: nodes from which a gated op is reachable without passing an
+	// approved trampoline. Seeded with the gated ops themselves;
+	// propagated backwards over call/ref/dispatch edges, stopping at
+	// approved nodes (their callers are sanctioned).
+	reach := make(map[*CGNode]bool)
+	// via remembers one forward step toward the gated op, for witness
+	// path rendering.
+	via := make(map[*CGNode]*CGEdge)
+	var queue []*CGNode
+	for _, id := range sortedKeys(gated) {
+		if n, ok := g.Nodes[id]; ok {
+			reach[n] = true
+			queue = append(queue, n)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range n.In {
+			u := e.From
+			if reach[u] || trustflowIsApproved(u, gated) {
+				continue
+			}
+			reach[u] = true
+			via[u] = e
+			queue = append(queue, u)
+		}
+	}
+
+	// Report each crossing: an edge from untrusted code to a node in the
+	// reach set that is either a gated op itself or trusted-partition
+	// code. Untrusted→untrusted edges inside the set are not reported —
+	// the root cause is the deeper crossing, and a waiver there covers
+	// its transitive callers.
+	witness := func(start *CGNode) string {
+		var parts []string
+		seen := make(map[*CGNode]bool)
+		for n := start; n != nil && !seen[n]; {
+			seen[n] = true
+			parts = append(parts, shortFuncName(n))
+			e := via[n]
+			if e == nil {
+				break
+			}
+			n = e.To
+		}
+		return strings.Join(parts, " -> ")
+	}
+	for _, n := range g.Nodes {
+		if memgateTrusted[n.PkgPath] {
+			continue // trusted partition may hold raw power
+		}
+		for _, e := range n.Out {
+			v := e.To
+			if !reach[v] {
+				continue
+			}
+			switch {
+			case gated[v.ID]:
+				verb := "calls"
+				if e.Kind == EdgeRef {
+					verb = "takes a value of"
+				}
+				pass.Reportf(e.Pos,
+					"untrusted %s %s gated %s; route through an approved trampoline (asstd/core)",
+					shortFuncName(n), verb, v.ID)
+			case memgateTrusted[v.PkgPath]:
+				pass.Reportf(e.Pos,
+					"untrusted %s reaches %s via %s, a trusted-partition export not on the approved trampoline list"+
+						" (path: %s -> %s)",
+					shortFuncName(n), gatedTarget(via, v), v.ID, shortFuncName(n), witness(v))
+			}
+		}
+	}
+}
+
+// shortFuncName renders a node for messages: last path element of the
+// package plus the function name ("pool.(Pool).Start" style without
+// parens: "pool.Pool.Start").
+func shortFuncName(n *CGNode) string {
+	pkg := n.PkgPath
+	if i := strings.LastIndex(pkg, "/"); i >= 0 {
+		pkg = pkg[i+1:]
+	}
+	return pkg + "." + n.Name
+}
+
+// gatedTarget names the gated op a reach-set node leads to, following
+// witness steps.
+func gatedTarget(via map[*CGNode]*CGEdge, n *CGNode) string {
+	seen := make(map[*CGNode]bool)
+	for !seen[n] {
+		seen[n] = true
+		e := via[n]
+		if e == nil {
+			return n.ID
+		}
+		n = e.To
+	}
+	return n.ID
+}

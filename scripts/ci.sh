@@ -11,7 +11,13 @@ set -eux
 test -z "$(gofmt -l .)"
 go build ./...
 go vet ./...
-go run ./cmd/asvet ./...
+# Under GitHub Actions, -github makes every finding a ::error workflow
+# command so it lands as an inline PR-diff annotation.
+if [ -n "${GITHUB_ACTIONS:-}" ]; then
+	go run ./cmd/asvet -github ./...
+else
+	go run ./cmd/asvet ./...
+fi
 go test -short ./...
 # The ./internal/... wildcard includes internal/cluster and the
 # gateway's cluster plane: rendezvous routing, membership, shard
